@@ -1,0 +1,62 @@
+"""Fig. 3a — DDSS put() latency per coherence model vs message size.
+
+Paper claim: for all coherence models the 1-byte put latency stays
+around/below ~55 µs, with NULL/READ cheapest and the locking models
+(WRITE/STRICT) most expensive.
+"""
+
+import os
+
+from repro.bench import BenchTable
+from repro.net import Cluster
+from repro.ddss import DDSS, Coherence
+
+from conftest import run_once
+
+SIZES = [1, 64, 256, 1024, 4096]
+MODELS = [Coherence.NULL, Coherence.READ, Coherence.WRITE,
+          Coherence.STRICT, Coherence.VERSION, Coherence.DELTA]
+
+
+def put_latency(model: Coherence, size: int, iters: int = 20) -> float:
+    cluster = Cluster(n_nodes=4, seed=1)
+    ddss = DDSS(cluster, segment_bytes=256 * 1024)
+    client = ddss.client(cluster.nodes[1])
+    payload = b"\xab" * size
+
+    def app(env):
+        # fixed remote home so placement does not confound the sweep
+        key = yield client.allocate(size + 8, coherence=model,
+                                    placement=3)
+        t0 = env.now
+        for _ in range(iters):
+            yield client.put(key, payload)
+        return (env.now - t0) / iters
+
+    p = cluster.env.process(app(cluster.env))
+    cluster.env.run_until_event(p)
+    return p.value
+
+
+def build_table() -> BenchTable:
+    table = BenchTable(
+        "DDSS put() latency (us) by coherence model",
+        ["size_bytes"] + [m.value for m in MODELS],
+        paper_ref="Fig 3a: all models <= ~55us at 1 byte")
+    for size in SIZES:
+        row = [size]
+        for model in MODELS:
+            row.append(round(put_latency(model, size), 2))
+        table.add(*row)
+    return table
+
+
+def test_fig3a_ddss_put_latency(benchmark, results_dir):
+    table = run_once(benchmark, build_table)
+    table.show()
+    table.save_json(os.path.join(results_dir, "fig3a.json"))
+    # shape assertions mirroring the paper
+    one_byte = table.rows[0][1:]
+    assert all(lat <= 55.0 for lat in one_byte), one_byte
+    by_model = dict(zip([m.value for m in MODELS], one_byte))
+    assert by_model["null"] <= by_model["version"] <= by_model["strict"]

@@ -1,0 +1,64 @@
+"""Fig. 5 — lock cascading latency vs number of waiting processes.
+
+Paper claims: (a) shared cascade — N-CoSED grants all shared waiters at
+once, DQNL serializes them (up to ~317% worse at 16 nodes); (b)
+exclusive cascade — N-CoSED ≈ DQNL, both well ahead of the two-sided
+SRSL server (~39%+).
+"""
+
+import os
+
+from repro.bench import BenchTable
+from repro.dlm import (
+    DQNLManager,
+    LockMode,
+    NCoSEDManager,
+    SRSLManager,
+    cascade_latency,
+)
+
+from conftest import run_once
+
+WAITERS = [1, 2, 4, 8, 16]
+SCHEMES = [SRSLManager, DQNLManager, NCoSEDManager]
+
+
+def build_tables():
+    tables = {}
+    for mode, ref in ((LockMode.SHARED, "Fig 5a"),
+                      (LockMode.EXCLUSIVE, "Fig 5b")):
+        table = BenchTable(
+            f"{mode.value}-lock cascading latency (us)",
+            ["waiters", "SRSL", "DQNL", "N-CoSED"],
+            paper_ref=f"{ref}: cascade from one release to last grant")
+        for n in WAITERS:
+            row = [n]
+            for cls in SCHEMES:
+                result = cascade_latency(cls, n, mode, seed=0)
+                row.append(round(result["cascade_us"], 1))
+            table.add(*row)
+        tables[mode] = table
+    return tables
+
+
+def test_fig5_lock_cascade(benchmark, results_dir):
+    tables = run_once(benchmark, build_tables)
+    for mode, table in tables.items():
+        table.show()
+        table.save_json(os.path.join(
+            results_dir, f"fig5_{mode.value}.json"))
+
+    shared = {row[0]: row[1:] for row in tables[LockMode.SHARED].rows}
+    exclusive = {row[0]: row[1:]
+                 for row in tables[LockMode.EXCLUSIVE].rows}
+
+    # shared @16: N-CoSED far ahead of DQNL (paper: up to ~317%)
+    srsl, dqnl, ncosed = shared[16]
+    assert dqnl / ncosed > 3.0, shared
+    assert srsl / ncosed > 1.0, shared
+    # N-CoSED shared cascade is ~flat: 16 waiters cost < 2x 1 waiter
+    assert shared[16][2] < 2.0 * shared[1][2]
+    # exclusive: one-sided schemes beat the message-based server
+    srsl, dqnl, ncosed = exclusive[16]
+    assert srsl / ncosed > 1.3, exclusive
+    assert abs(dqnl - ncosed) / ncosed < 0.2

@@ -1,0 +1,71 @@
+"""Fig. 6 — data-center throughput (TPS) for the five caching schemes.
+
+Grid: file sizes {8k, 16k, 32k, 64k} x proxy counts {2, 8}.
+Paper claims: advanced schemes (CCWR/MTACC/HYBCC) up to ~35% over the
+simple RDMA cooperative cache (BCC) and ~1.8x+ over plain Apache-style
+caching (AC), with the advantage growing with file size, working-set
+size and proxy count; HYBCC tracks the best scheme everywhere.
+"""
+
+import os
+
+from repro.bench import BenchTable
+from repro.datacenter import DataCenter
+
+from conftest import run_once
+
+SIZES = [8_192, 16_384, 32_768, 65_536]
+SCHEMES = ["AC", "BCC", "CCWR", "MTACC", "HYBCC"]
+N_DOCS = 1_200
+CACHE_BYTES = 8 * 1024 * 1024
+MEASURE_US = 150_000.0
+WARMUP_US = 100_000.0
+
+
+def tps_cell(scheme: str, size: int, n_proxies: int) -> float:
+    dc = DataCenter(n_proxies=n_proxies, n_app=2, scheme=scheme,
+                    n_docs=N_DOCS, doc_bytes=size,
+                    cache_bytes=CACHE_BYTES,
+                    n_sessions=24 * n_proxies, seed=1)
+    return dc.run_tps(warmup_us=WARMUP_US, measure_us=MEASURE_US)
+
+
+def build_tables():
+    tables = {}
+    for n_proxies, ref in ((2, "Fig 6a"), (8, "Fig 6b")):
+        table = BenchTable(
+            f"Data-center throughput (TPS), {n_proxies} proxy nodes",
+            ["file_size"] + SCHEMES,
+            paper_ref=f"{ref}: AC < BCC < advanced; HYBCC tracks best")
+        for size in SIZES:
+            row = [f"{size // 1024}k"]
+            for scheme in SCHEMES:
+                row.append(round(tps_cell(scheme, size, n_proxies)))
+            table.add(*row)
+        tables[n_proxies] = table
+    return tables
+
+
+def test_fig6_coop_cache(benchmark, results_dir):
+    tables = run_once(benchmark, build_tables)
+    for n_proxies, table in tables.items():
+        table.show()
+        table.save_json(os.path.join(
+            results_dir, f"fig6_{n_proxies}proxies.json"))
+
+    def cells(n_proxies, size_idx):
+        return dict(zip(SCHEMES, tables[n_proxies].rows[size_idx][1:]))
+
+    # large files, 8 proxies: the aggregate schemes dominate
+    c = cells(8, len(SIZES) - 1)
+    assert c["CCWR"] > 1.3 * c["BCC"]
+    assert c["HYBCC"] > 1.8 * c["AC"]
+    # cooperation always beats no cooperation at 8 proxies
+    for idx in range(len(SIZES)):
+        c = cells(8, idx)
+        assert max(c.values()) > 1.5 * c["AC"]
+    # HYBCC tracks the best scheme within 25% everywhere
+    for n_proxies in (2, 8):
+        for idx in range(len(SIZES)):
+            c = cells(n_proxies, idx)
+            assert c["HYBCC"] > 0.75 * max(c.values()), (n_proxies, idx, c)

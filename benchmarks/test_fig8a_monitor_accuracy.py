@@ -1,0 +1,39 @@
+"""Fig. 8a — accuracy of reported load (thread-count deviation).
+
+Paper claim: RDMA-based schemes report very small or no deviation from
+the actual number of threads on the (loaded) back-end node; socket-based
+schemes deviate because their daemons are starved and their data stale.
+"""
+
+import os
+
+from repro.bench import BenchTable
+from repro.monitor.experiments import accuracy_trace
+
+from conftest import run_once
+
+SCHEMES = ["socket-async", "socket-sync", "rdma-async", "rdma-sync"]
+
+
+def build_table() -> BenchTable:
+    table = BenchTable(
+        "Thread-count deviation |reported - actual|",
+        ["scheme", "mean_abs_dev", "max_dev", "samples"],
+        paper_ref="Fig 8a: RDMA schemes show little or no deviation")
+    for scheme in SCHEMES:
+        r = accuracy_trace(scheme, duration_us=400_000.0,
+                           sample_every_us=2_000.0, seed=0)
+        table.add(scheme, round(r.mean_abs_deviation, 2),
+                  r.max_deviation, len(r.samples))
+    return table
+
+
+def test_fig8a_monitor_accuracy(benchmark, results_dir):
+    table = run_once(benchmark, build_table)
+    table.show()
+    table.save_json(os.path.join(results_dir, "fig8a.json"))
+    mad = {row[0]: row[1] for row in table.rows}
+    assert mad["rdma-sync"] == 0.0
+    assert mad["rdma-async"] < mad["socket-async"]
+    assert mad["socket-sync"] > 0.0
+    assert mad["socket-async"] > mad["rdma-sync"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: a simulated RDMA cluster, DDSS shared state and N-CoSED
+distributed locking in ~60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, Coherence, DDSS, LockMode, NCoSEDManager
+
+
+def main():
+    # A 4-node InfiniBand-style cluster (node 0 will home the shared
+    # state and the lock word).
+    cluster = Cluster(n_nodes=4, seed=42)
+    env = cluster.env
+
+    # Layer 2 primitives: the data-sharing substrate and a lock manager.
+    ddss = DDSS(cluster)
+    dlm = NCoSEDManager(cluster, n_locks=8)
+
+    results = []
+
+    def worker(env, node, name):
+        """Each worker appends its name to a shared, lock-protected log."""
+        data = ddss.client(node)
+        locks = dlm.client(node)
+
+        # node 1 allocates the shared unit; everyone else discovers it
+        # through the metadata directory by key (key 1 = first alloc)
+        if name == "alice":
+            key = yield data.allocate(64, coherence=Coherence.WRITE,
+                                      placement=0)
+            yield data.put(key, b"log:")
+        else:
+            yield env.timeout(200.0)  # let the allocation land
+            key = 1
+
+        for _ in range(3):
+            yield locks.acquire(0, LockMode.EXCLUSIVE)
+            raw = yield data.get(key)
+            log = raw.rstrip(b"\x00") + f"|{name}".encode()
+            yield data.put(key, log)
+            yield locks.release(0)
+            yield env.timeout(50.0)
+
+        results.append((name, env.now))
+
+    env.process(worker(env, cluster.nodes[1], "alice"))
+    env.process(worker(env, cluster.nodes[2], "bob"))
+    env.process(worker(env, cluster.nodes[3], "carol"))
+    env.run(until=1_000_000)
+
+    reader = ddss.client(cluster.nodes[0])
+
+    def check(env):
+        raw = yield reader.get(1)
+        return raw.rstrip(b"\x00")
+
+    p = env.process(check(env))
+    env.run()
+
+    print(f"workers finished: {[(n, f'{t:.1f}us') for n, t in results]}")
+    print(f"shared log      : {p.value.decode()}")
+    entries = p.value.decode().split("|")[1:]
+    assert len(entries) == 9, "every locked append must be preserved"
+    print("OK: 9 appends survived concurrent access (mutual exclusion)")
+
+
+if __name__ == "__main__":
+    main()

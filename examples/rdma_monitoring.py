@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Fine-grained resource monitoring: watch a loaded back-end node with
+all five schemes and compare reported vs actual thread counts, then use
+the monitors to drive a load balancer (the paper's Fig. 8 scenario).
+
+Run:  python examples/rdma_monitoring.py
+"""
+
+from repro.bench import BenchTable, improvement_pct
+from repro.monitor.experiments import accuracy_trace, lb_throughput
+
+
+def main():
+    print("1) Accuracy: |reported - actual| running threads on a churning,"
+          " loaded node")
+    acc = BenchTable("Monitoring accuracy",
+                     ["scheme", "mean_abs_dev", "max_dev"])
+    for scheme in ("socket-async", "socket-sync", "rdma-async",
+                   "rdma-sync"):
+        r = accuracy_trace(scheme, duration_us=150_000.0, seed=1)
+        acc.add(scheme, round(r.mean_abs_deviation, 2), r.max_deviation)
+    acc.show()
+    print("RDMA-Sync reads the kernel's counters directly — zero"
+          " deviation, zero\nback-end CPU. The socket daemons report"
+          " late exactly when the node is busy.\n")
+
+    print("2) Throughput: least-loaded dispatch driven by each monitor"
+          " (alpha=0.75)")
+    tput = BenchTable("Load-balanced throughput",
+                      ["scheme", "tps", "vs socket-async"])
+    base = lb_throughput("socket-async", 0.75, measure_us=200_000.0,
+                         seed=1)
+    tput.add("socket-async", round(base), "baseline")
+    for scheme in ("socket-sync", "rdma-async", "rdma-sync",
+                   "e-rdma-sync"):
+        tps = lb_throughput(scheme, 0.75, measure_us=200_000.0, seed=1)
+        tput.add(scheme, round(tps),
+                 f"{improvement_pct(tps, base):+.1f}%")
+    tput.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Designing Efficient Systems Services and
+Primitives for Next-Generation Data-Centers" (Vaidyanathan, Narravula,
+Balaji, Panda; IPDPS 2007).
+
+The paper's three-layer framework over a simulated RDMA cluster:
+
+* communication protocols — :mod:`repro.transport` (TCP emulation, SDP,
+  ZSDP, AZ-SDP, flow control) over :mod:`repro.net` (RDMA NIC model);
+* service primitives — :mod:`repro.ddss` (distributed data sharing
+  substrate) and :mod:`repro.dlm` (SRSL / DQNL / N-CoSED lock managers);
+* advanced services — :mod:`repro.cache` (cooperative caching),
+  :mod:`repro.monitor` (RDMA resource monitoring) and
+  :mod:`repro.reconfig` (dynamic reconfiguration with QoS);
+
+plus the :mod:`repro.datacenter` multi-tier testbed,
+:mod:`repro.workloads` generators and the :mod:`repro.apps.storm` query
+engine used by the evaluation.
+
+Quickstart::
+
+    from repro import Cluster, DDSS, Coherence
+
+    cluster = Cluster(n_nodes=4)
+    ddss = DDSS(cluster)
+    client = ddss.client(cluster.nodes[1])
+
+    def app(env):
+        key = yield client.allocate(64, coherence=Coherence.WRITE)
+        yield client.put(key, b"hello")
+        return (yield client.get(key))
+
+    proc = cluster.env.process(app(cluster.env))
+    cluster.env.run()
+"""
+
+from repro.ddss import DDSS, Coherence
+from repro.dlm import DQNLManager, LockMode, NCoSEDManager, SRSLManager
+from repro.net import Cluster, NetworkParams
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Coherence",
+    "DDSS",
+    "DQNLManager",
+    "Environment",
+    "LockMode",
+    "NCoSEDManager",
+    "NetworkParams",
+    "SRSLManager",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Benchmark harness helpers (tables, ASCII charts, result capture)."""
+
+from repro.bench.harness import BenchTable, format_series, improvement_pct
+from repro.bench.plot import ascii_bars, ascii_chart
+
+__all__ = ["BenchTable", "ascii_bars", "ascii_chart", "format_series",
+           "improvement_pct"]

@@ -1,0 +1,57 @@
+"""Admission control — the overload-control service the paper's
+introduction lists among required data-center services.
+
+A proxy-side controller consults a monitoring scheme's view of the
+backend tier before accepting work.  When the mean reported backend
+load exceeds ``high_water`` the controller sheds new requests (clients
+get an immediate reject instead of joining a hopeless queue) until load
+falls back under ``low_water``.  With an RDMA monitor the load view is
+microseconds fresh, so the controller tracks overload onsets instead of
+oscillating on stale data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.monitor.schemes import MonitorBase
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Hysteresis-based request shedding driven by a monitor."""
+
+    def __init__(self, monitor: MonitorBase,
+                 high_water: float = 12.0, low_water: float = 8.0):
+        if low_water >= high_water:
+            raise ConfigError("low_water must be below high_water")
+        self.monitor = monitor
+        self.env = monitor.env
+        self.high_water = high_water
+        self.low_water = low_water
+        self.shedding = False
+        self.accepted = 0
+        self.rejected = 0
+
+    def _mean_load(self) -> float:
+        ids = self.monitor.back_ids
+        return sum(self.monitor.load_index(b) for b in ids) / len(ids)
+
+    def admit(self) -> bool:
+        """Accept or shed one incoming request (uses the current view)."""
+        load = self._mean_load()
+        if self.shedding:
+            if load <= self.low_water:
+                self.shedding = False
+        elif load >= self.high_water:
+            self.shedding = True
+        if self.shedding:
+            self.rejected += 1
+            return False
+        self.accepted += 1
+        return True
+
+    @property
+    def reject_ratio(self) -> float:
+        total = self.accepted + self.rejected
+        return self.rejected / total if total else 0.0

@@ -1,0 +1,109 @@
+"""Global memory aggregator — the Figure-1 primitive the paper defers.
+
+Aggregates the free-memory state of every DDSS member into a table of
+64-bit words in the metadata node's registered memory.  Members push
+their own free-byte count with a one-sided RDMA write whenever it
+changes materially; allocating clients read the whole table with a
+single RDMA read and place new units on the member with the most free
+space ("best-fit" placement), instead of blind round-robin.
+
+This is exactly the shape of the paper's other services: state shared
+through registered memory, written and read one-sidedly, no daemon on
+the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import DDSSError
+from repro.sim import Event
+
+from repro.ddss.substrate import DDSS
+
+__all__ = ["GlobalMemoryAggregator"]
+
+#: a member republishes when its free bytes moved by this fraction
+PUBLISH_THRESHOLD = 0.05
+#: publish poll period (µs)
+PUBLISH_PERIOD_US = 2_000.0
+
+
+class GlobalMemoryAggregator:
+    """Cluster-wide view of free DDSS segment space."""
+
+    def __init__(self, ddss: DDSS,
+                 publish_period_us: float = PUBLISH_PERIOD_US):
+        if publish_period_us <= 0:
+            raise DDSSError("publish period must be positive")
+        self.ddss = ddss
+        self.env = ddss.env
+        self.members = list(ddss.members)
+        #: member index in the table
+        self._index = {node.id: i for i, node in enumerate(self.members)}
+        home = ddss.meta_node
+        self.table = home.memory.register(8 * len(self.members),
+                                          name="gma-table")
+        self.publish_period_us = publish_period_us
+        self.publishes = 0
+        self._last_published: Dict[int, int] = {}
+        for node in self.members:
+            free = ddss.allocator(node.id).free_bytes
+            self.table.write_u64(8 * self._index[node.id], free)
+            self._last_published[node.id] = free
+            self.env.process(self._publisher(node),
+                             name=f"gma-pub@{node.name}")
+
+    # -- member side -----------------------------------------------------
+    def _publisher(self, node):
+        meta = self.ddss.meta_node
+        while True:
+            yield self.env.timeout(self.publish_period_us)
+            free = self.ddss.allocator(node.id).free_bytes
+            last = self._last_published[node.id]
+            base = max(last, 1)
+            if abs(free - last) / base < PUBLISH_THRESHOLD:
+                continue
+            if node.id == meta.id:
+                self.table.write_u64(8 * self._index[node.id], free)
+            else:
+                yield node.nic.rdma_write(
+                    meta.id, self.table.addr + 8 * self._index[node.id],
+                    self.table.rkey, free.to_bytes(8, "big"))
+            self._last_published[node.id] = free
+            self.publishes += 1
+
+    # -- client side --------------------------------------------------------
+    def read_view(self, from_node) -> Event:
+        """One RDMA read of the whole table; value: {node_id: free}."""
+        return self.env.process(self._read_view(from_node),
+                                name=f"gma-view@{from_node.name}")
+
+    def _read_view(self, from_node):
+        meta = self.ddss.meta_node
+        n = len(self.members)
+        if from_node.id == meta.id:
+            yield self.env.timeout(0.2)
+            blob = self.table.read(0, 8 * n)
+        else:
+            blob = yield from_node.nic.rdma_read(
+                meta.id, self.table.addr, self.table.rkey, 8 * n)
+        return {node.id: int.from_bytes(blob[8 * i:8 * i + 8], "big")
+                for i, node in enumerate(self.members)}
+
+    def pick_home(self, from_node) -> Event:
+        """Best-fit placement: the member with the most free bytes."""
+        return self.env.process(self._pick(from_node),
+                                name=f"gma-pick@{from_node.name}")
+
+    def _pick(self, from_node):
+        view = yield from self._read_view(from_node)
+        best = max(view, key=view.get)
+        return best
+
+    # -- diagnostics -----------------------------------------------------
+    def imbalance(self) -> float:
+        """(max - min) / capacity across members (0 = perfectly even)."""
+        frees = [self.ddss.allocator(n.id).free_bytes
+                 for n in self.members]
+        return (max(frees) - min(frees)) / self.ddss.segment_bytes

@@ -1,0 +1,301 @@
+"""DDSS client: coherence-aware ``get``/``put`` over one-sided RDMA.
+
+One client per (node, attachment).  Control operations round-trip to the
+daemons; the data path touches the home segment with RDMA reads, writes
+and atomics only — the home node's CPU is never involved.
+
+All public operations return simulation events whose value is the
+operation result; use them from processes::
+
+    key  = yield client.allocate(128, coherence=Coherence.VERSION)
+    yield client.put(key, b"abc")
+    data = yield client.get(key)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import CoherenceError, DDSSError
+from repro.net.node import Node
+from repro.sim import Event
+
+from repro.ddss.coherence import Coherence
+from repro.ddss.substrate import (
+    DDSS,
+    HEADER_BYTES,
+    LOCK_OFF,
+    UnitMeta,
+    VERSION_OFF,
+    _req_ids,
+)
+
+__all__ = ["DDSSClient"]
+
+#: lock spin backoff (µs): initial, multiplier, cap
+_BACKOFF = (2.0, 2.0, 50.0)
+
+_owner_tokens = itertools.count(1)
+
+KeyOrMeta = Union[int, UnitMeta]
+
+
+class DDSSClient:
+    """Per-node handle onto the substrate."""
+
+    def __init__(self, ddss: DDSS, node: Node, via_ipc: bool = False):
+        self.ddss = ddss
+        self.node = node
+        self.env = node.env
+        self.via_ipc = via_ipc
+        self._meta_cache: Dict[int, UnitMeta] = {}
+        #: local copies for DELTA/TEMPORAL: key -> (version, data, at)
+        self._data_cache: Dict[int, Tuple[int, bytes, float]] = {}
+        #: distinct nonzero token so lock ownership is attributable
+        self._token = (node.id << 20) | next(_owner_tokens)
+        # op counters for benches
+        self.gets = 0
+        self.puts = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def allocate(self, size: int, coherence: Coherence = Coherence.NULL,
+                 placement: Optional[int] = None, delta: int = 2,
+                 ttl_us: float = 1000.0) -> Event:
+        """Allocate a shared unit; event value is its integer key."""
+        return self._proc(self._allocate(size, coherence, placement,
+                                         delta, ttl_us), "ddss-alloc")
+
+    def _allocate(self, size, coherence, placement, delta, ttl_us):
+        if size <= 0:
+            raise DDSSError("allocation size must be positive")
+        home = self.ddss.pick_home(placement)
+        reply = yield from self._control(home, {"op": "alloc", "size": size})
+        meta = UnitMeta(key=0, home=home, addr=reply["addr"],
+                        rkey=reply["rkey"], size=size, coherence=coherence,
+                        delta=delta, ttl_us=ttl_us)
+        reply = yield from self._control(self.ddss.meta_node.id,
+                                         {"op": "register", "meta": meta})
+        meta = reply["meta"]
+        self._meta_cache[meta.key] = meta
+        return meta.key
+
+    def free(self, key: int) -> Event:
+        """Release a unit (directory entry + home segment block)."""
+        return self._proc(self._free(key), "ddss-free")
+
+    def _free(self, key):
+        reply = yield from self._control(self.ddss.meta_node.id,
+                                         {"op": "unregister", "key": key})
+        meta: UnitMeta = reply["meta"]
+        yield from self._control(meta.home,
+                                 {"op": "free_unit", "addr": meta.addr})
+        self._meta_cache.pop(key, None)
+        self._data_cache.pop(key, None)
+        return None
+
+    def lookup(self, key: int) -> Event:
+        """Resolve a key to its UnitMeta (cached after first use)."""
+        return self._proc(self._lookup(key), "ddss-lookup")
+
+    def _lookup(self, key):
+        meta = self._meta_cache.get(key)
+        if meta is None:
+            reply = yield from self._control(self.ddss.meta_node.id,
+                                             {"op": "lookup", "key": key})
+            meta = reply["meta"]
+            self._meta_cache[key] = meta
+        return meta
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def put(self, key: KeyOrMeta, data: bytes) -> Event:
+        """Publish ``data`` into the unit under its coherence model."""
+        return self._proc(self._put(key, data), "ddss-put")
+
+    def _put(self, key, data):
+        meta = yield from self._meta(key)
+        if len(data) > meta.size:
+            raise DDSSError(
+                f"put of {len(data)} bytes into unit of {meta.size}")
+        self.puts += 1
+        yield from self._ipc_hop()
+        nic = self.node.nic
+        model = meta.coherence
+        if model.locks_writes:
+            yield from self._spin_lock(meta)
+            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
+            yield from self._bump_version_locked(meta)
+            yield from self._unlock(meta)
+        elif model.versioned:
+            # fetch-and-add orders this write among concurrent writers and
+            # hands us the new version for free
+            old = yield nic.faa(meta.home, meta.addr + VERSION_OFF,
+                                meta.rkey, 1)
+            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
+            if model.cacheable:  # DELTA: our own write is the freshest copy
+                self._data_cache[meta.key] = (old + 1, bytes(data),
+                                              self.env.now)
+        elif model is Coherence.READ:
+            # single combined (version, data) write = atomic snapshot
+            version = self._next_local_version(meta.key)
+            blob = version.to_bytes(8, "big") + data
+            yield nic.rdma_write(meta.home, meta.addr + VERSION_OFF,
+                                 meta.rkey, blob)
+        else:  # NULL, TEMPORAL
+            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
+            if model is Coherence.TEMPORAL:
+                self._data_cache[meta.key] = (0, bytes(data), self.env.now)
+        return None
+
+    def get(self, key: KeyOrMeta, length: Optional[int] = None) -> Event:
+        """Fetch the unit's data (or its first ``length`` bytes)."""
+        return self._proc(self._get(key, length), "ddss-get")
+
+    def _get(self, key, length):
+        meta = yield from self._meta(key)
+        n = meta.size if length is None else length
+        if n > meta.size:
+            raise DDSSError(f"get of {n} bytes from unit of {meta.size}")
+        self.gets += 1
+        yield from self._ipc_hop()
+        nic = self.node.nic
+        model = meta.coherence
+
+        if model is Coherence.TEMPORAL:
+            cached = self._data_cache.get(meta.key)
+            if cached is not None and (self.env.now - cached[2]) <= meta.ttl_us:
+                self.cache_hits += 1
+                return cached[1][:n]
+        if model is Coherence.DELTA:
+            cached = self._data_cache.get(meta.key)
+            if cached is not None:
+                version = yield from self._read_version(meta)
+                if version - cached[0] <= meta.delta:
+                    self.cache_hits += 1
+                    return cached[1][:n]
+
+        if model.locks_reads:
+            yield from self._spin_lock(meta)
+            data = yield nic.rdma_read(meta.home, meta.data_addr,
+                                       meta.rkey, n)
+            yield from self._unlock(meta)
+            return data
+
+        if model in (Coherence.READ, Coherence.VERSION, Coherence.DELTA):
+            # one read covering (version, data): an atomic snapshot
+            blob = yield nic.rdma_read(meta.home, meta.addr + VERSION_OFF,
+                                       meta.rkey, 8 + n)
+            version = int.from_bytes(blob[:8], "big")
+            data = blob[8:]
+            if model.cacheable:
+                self._data_cache[meta.key] = (version, bytes(data),
+                                              self.env.now)
+            return data
+
+        data = yield nic.rdma_read(meta.home, meta.data_addr, meta.rkey, n)
+        if model is Coherence.TEMPORAL:
+            self._data_cache[meta.key] = (0, bytes(data), self.env.now)
+        return data
+
+    def get_version(self, key: KeyOrMeta) -> Event:
+        """Read the unit's version counter."""
+        return self._proc(self._get_version(key), "ddss-version")
+
+    def _get_version(self, key):
+        meta = yield from self._meta(key)
+        version = yield from self._read_version(meta)
+        return version
+
+    # -- explicit unit locks (DDSS "locking mechanisms" module) ---------
+    def acquire(self, key: KeyOrMeta) -> Event:
+        """Take the unit's lock (spin with exponential backoff)."""
+        return self._proc(self._acquire(key), "ddss-acquire")
+
+    def _acquire(self, key):
+        meta = yield from self._meta(key)
+        yield from self._spin_lock(meta)
+        return None
+
+    def release(self, key: KeyOrMeta) -> Event:
+        return self._proc(self._release(key), "ddss-release")
+
+    def _release(self, key):
+        meta = yield from self._meta(key)
+        yield from self._unlock(meta)
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _proc(self, gen, name):
+        return self.env.process(gen, name=f"{name}@{self.node.name}")
+
+    def _meta(self, key: KeyOrMeta):
+        if isinstance(key, UnitMeta):
+            return key
+            yield  # pragma: no cover - makes this a generator
+        meta = yield from self._lookup(key)
+        return meta
+
+    def _control(self, node_id: int, body: dict):
+        """Two-sided control RPC to a member daemon."""
+        req = next(_req_ids)
+        body = dict(body, req=req)
+        self.node.nic.send(node_id, payload=body, size=64,
+                           tag=self.ddss.WIRE_TAG)
+        msg = yield self.node.nic.recv(tag=(self.ddss.REPLY_TAG, req))
+        if "error" in msg.payload:
+            raise DDSSError(msg.payload["error"])
+        return msg.payload
+
+    def _ipc_hop(self):
+        """Cost of reaching the substrate through the node-local IPC."""
+        if self.via_ipc:
+            yield self.env.timeout(1.0)
+        else:
+            return
+            yield  # pragma: no cover
+
+    def _read_version(self, meta: UnitMeta):
+        blob = yield self.node.nic.rdma_read(
+            meta.home, meta.addr + VERSION_OFF, meta.rkey, 8)
+        return int.from_bytes(blob, "big")
+
+    def _bump_version_locked(self, meta: UnitMeta):
+        """Version bump while holding the lock (no atomicity needed)."""
+        version = yield from self._read_version(meta)
+        yield self.node.nic.rdma_write(
+            meta.home, meta.addr + VERSION_OFF, meta.rkey,
+            (version + 1).to_bytes(8, "big"))
+
+    def _spin_lock(self, meta: UnitMeta):
+        delay, mult, cap = _BACKOFF
+        while True:
+            old = yield self.node.nic.cas(
+                meta.home, meta.addr + LOCK_OFF, meta.rkey, 0, self._token)
+            if old == 0:
+                return
+            yield self.env.timeout(delay)
+            delay = min(delay * mult, cap)
+
+    def _unlock(self, meta: UnitMeta):
+        old = yield self.node.nic.cas(
+            meta.home, meta.addr + LOCK_OFF, meta.rkey, self._token, 0)
+        if old != self._token:
+            raise CoherenceError(
+                f"unlock by non-owner: lock word was {old:#x}, "
+                f"expected {self._token:#x}")
+
+    _local_version_counters: Dict[int, int]
+
+    def _next_local_version(self, key: int) -> int:
+        counters = getattr(self, "_lvc", None)
+        if counters is None:
+            counters = self._lvc = {}
+        counters[key] = counters.get(key, 0) + 1
+        return counters[key]

@@ -1,0 +1,59 @@
+"""Coherence models supported by DDSS (paper §4.1 / Fig. 3a).
+
+Each model trades coherence strength for ``get``/``put`` cost:
+
+=========  ==============================================================
+Model      Contract
+=========  ==============================================================
+NULL       No maintenance.  ``put`` writes home memory, ``get`` reads it;
+           concurrent accesses may interleave arbitrarily.
+READ       Read coherence: a ``get`` observes an atomic snapshot of the
+           (version, data) pair written by the most recent complete
+           ``put``.
+WRITE      Write coherence: ``put``\\ s are serialized through the unit's
+           lock; ``get`` is lock-free.
+STRICT     Strict coherence: both ``get`` and ``put`` take the unit lock,
+           so a reader can never observe a concurrent writer.
+VERSION    Versioned writes: every ``put`` atomically bumps the version
+           counter (fetch-and-add) before publishing data; readers can
+           detect missed updates.
+DELTA      Bounded staleness in versions: a reader may serve its locally
+           cached copy as long as it is at most ``delta`` versions behind
+           the home copy (checked with a cheap 8-byte version read).
+TEMPORAL   Bounded staleness in time: the locally cached copy is valid
+           for ``ttl_us`` microseconds with **zero** network traffic.
+=========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Coherence"]
+
+
+class Coherence(enum.Enum):
+    NULL = "null"
+    READ = "read"
+    WRITE = "write"
+    STRICT = "strict"
+    VERSION = "version"
+    DELTA = "delta"
+    TEMPORAL = "temporal"
+
+    @property
+    def locks_writes(self) -> bool:
+        return self in (Coherence.WRITE, Coherence.STRICT)
+
+    @property
+    def locks_reads(self) -> bool:
+        return self is Coherence.STRICT
+
+    @property
+    def versioned(self) -> bool:
+        return self in (Coherence.VERSION, Coherence.DELTA)
+
+    @property
+    def cacheable(self) -> bool:
+        """Models under which a client may serve a locally cached copy."""
+        return self in (Coherence.DELTA, Coherence.TEMPORAL)

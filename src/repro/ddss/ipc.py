@@ -1,0 +1,83 @@
+"""IPC management: many processes on one node share one DDSS client.
+
+The real DDSS runs a per-node daemon; co-located application processes
+reach it over local IPC.  :class:`IpcPortal` models that: each attached
+handle forwards operations through the portal, paying a small IPC hop and
+serializing on the daemon (one outstanding control interaction at a time,
+data operations proceed concurrently once issued).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import DDSSError
+from repro.sim import Event, Resource
+
+from repro.ddss.client import DDSSClient
+
+__all__ = ["IpcPortal", "IpcHandle"]
+
+#: one-way cost of the node-local IPC hop (µs)
+IPC_HOP_US = 0.5
+
+
+class IpcHandle:
+    """One attached process's view of the shared substrate client."""
+
+    def __init__(self, portal: "IpcPortal", name: str):
+        self.portal = portal
+        self.name = name
+        self.env = portal.client.env
+        self.ops = 0
+
+    def __getattr__(self, op):
+        client = self.portal.client
+        target = getattr(client, op)
+        if op not in ("allocate", "free", "lookup", "put", "get",
+                      "get_version", "acquire", "release"):
+            return target
+
+        def forwarded(*args, **kwargs) -> Event:
+            self.ops += 1
+            return self.env.process(self._via_ipc(target, args, kwargs),
+                                    name=f"ipc-{op}@{self.name}")
+
+        return forwarded
+
+    def _via_ipc(self, target, args, kwargs):
+        # request hop into the daemon, serialized on the portal
+        yield self.portal._gate.acquire()
+        try:
+            yield self.env.timeout(IPC_HOP_US)
+        finally:
+            self.portal._gate.release()
+        result = yield target(*args, **kwargs)
+        # response hop back to the calling process
+        yield self.env.timeout(IPC_HOP_US)
+        return result
+
+
+class IpcPortal:
+    """Per-node multiplexer in front of a :class:`DDSSClient`."""
+
+    def __init__(self, client: DDSSClient):
+        self.client = client
+        self._gate = Resource(client.env, capacity=1)
+        self._handles: Dict[str, IpcHandle] = {}
+
+    def attach(self, name: str) -> IpcHandle:
+        if name in self._handles:
+            raise DDSSError(f"process {name!r} already attached")
+        handle = IpcHandle(self, name)
+        self._handles[name] = handle
+        return handle
+
+    def detach(self, name: str) -> None:
+        if name not in self._handles:
+            raise DDSSError(f"process {name!r} not attached")
+        del self._handles[name]
+
+    @property
+    def attached(self) -> int:
+        return len(self._handles)

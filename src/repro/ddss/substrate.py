@@ -1,0 +1,180 @@
+"""DDSS service side: contributed segments, daemons, metadata directory.
+
+Topology: every participating node contributes one registered segment and
+runs a lightweight daemon.  One node (by default the first) additionally
+hosts the **metadata directory** mapping unit keys to
+:class:`UnitMeta`.  Control operations (allocate / free / lookup) are
+two-sided RPCs to daemons — they are rare.  The data path (``get`` /
+``put`` in :class:`repro.ddss.client.DDSSClient`) is pure one-sided RDMA
+against the home segment, which is the substrate's whole point.
+
+On-segment unit layout::
+
+    offset 0   u64  lock word      (0 = free, else owner token)
+    offset 8   u64  version counter
+    offset 16  ...  data bytes
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from repro.errors import DDSSError
+from repro.net.cluster import Cluster
+from repro.net.node import Node
+
+from repro.ddss.allocator import SegmentAllocator
+from repro.ddss.coherence import Coherence
+
+__all__ = ["DDSS", "UnitMeta", "HEADER_BYTES", "LOCK_OFF", "VERSION_OFF"]
+
+HEADER_BYTES = 16
+LOCK_OFF = 0
+VERSION_OFF = 8
+
+#: CPU time the daemon spends on one control request (µs)
+DAEMON_WORK_US = 2.0
+
+_req_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class UnitMeta:
+    """Directory entry describing one shared unit."""
+
+    key: int
+    home: int            # node id of the home segment
+    addr: int            # absolute address of the unit header
+    rkey: int
+    size: int            # data bytes (excluding header)
+    coherence: Coherence
+    delta: int = 2       # max version staleness (DELTA)
+    ttl_us: float = 1000.0  # max time staleness (TEMPORAL)
+
+    @property
+    def data_addr(self) -> int:
+        return self.addr + HEADER_BYTES
+
+
+class DDSS:
+    """The substrate service: call :meth:`client` per application node."""
+
+    WIRE_TAG = "ddss"
+    REPLY_TAG = "ddss-reply"
+
+    def __init__(self, cluster: Cluster,
+                 member_nodes: Optional[Sequence[Node]] = None,
+                 segment_bytes: int = 1 << 20,
+                 meta_node: Optional[Node] = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.members = list(member_nodes or cluster.nodes)
+        if not self.members:
+            raise DDSSError("DDSS needs at least one member node")
+        self.meta_node = meta_node or self.members[0]
+        if self.meta_node not in self.members:
+            raise DDSSError("metadata node must be a member")
+        self.segment_bytes = segment_bytes
+        self._segments: Dict[int, object] = {}
+        self._allocators: Dict[int, SegmentAllocator] = {}
+        self._directory: Dict[int, UnitMeta] = {}
+        self._next_key = itertools.count(1)
+        self._rr = itertools.count()  # round-robin placement cursor
+        for node in self.members:
+            seg = node.memory.register(segment_bytes,
+                                       name=f"ddss-seg@{node.name}")
+            self._segments[node.id] = seg
+            self._allocators[node.id] = SegmentAllocator(segment_bytes)
+            self.env.process(self._daemon(node),
+                             name=f"ddss-daemon@{node.name}")
+
+    # -- public --------------------------------------------------------
+    def client(self, node: Node, via_ipc: bool = False):
+        from repro.ddss.client import DDSSClient
+        return DDSSClient(self, node, via_ipc=via_ipc)
+
+    def segment(self, node_id: int):
+        return self._segments[node_id]
+
+    def allocator(self, node_id: int) -> SegmentAllocator:
+        return self._allocators[node_id]
+
+    def directory_size(self) -> int:
+        return len(self._directory)
+
+    def pick_home(self, placement: Optional[int]) -> int:
+        """Placement policy: explicit node id, else round robin."""
+        if placement is not None:
+            if placement not in self._segments:
+                raise DDSSError(f"node {placement} is not a DDSS member")
+            return placement
+        idx = next(self._rr) % len(self.members)
+        return self.members[idx].id
+
+    # -- daemon ------------------------------------------------------------
+    def _daemon(self, node: Node):
+        """Handle control requests addressed to this member node."""
+        while True:
+            msg = yield node.nic.recv(tag=self.WIRE_TAG)
+            yield node.cpu.run(DAEMON_WORK_US, name="ddss-daemon")
+            body = msg.payload
+            op = body["op"]
+            if op == "alloc":
+                reply = self._do_alloc(node, body)
+            elif op == "free_unit":
+                reply = self._do_free_unit(node, body)
+            elif op == "register":
+                reply = self._do_register(node, body)
+            elif op == "lookup":
+                reply = self._do_lookup(node, body)
+            elif op == "unregister":
+                reply = self._do_unregister(node, body)
+            else:  # pragma: no cover - defensive
+                reply = {"error": f"unknown op {op!r}"}
+            node.nic.send(msg.src, payload=reply, size=64,
+                          tag=(self.REPLY_TAG, body["req"]))
+
+    def _do_alloc(self, node: Node, body: dict) -> dict:
+        try:
+            offset = self._allocators[node.id].alloc(
+                HEADER_BYTES + body["size"])
+        except DDSSError as exc:
+            return {"error": str(exc)}
+        seg = self._segments[node.id]
+        # zero the header so locks start free and version at 0
+        seg.write(offset, b"\x00" * HEADER_BYTES)
+        return {"addr": seg.addr + offset, "rkey": seg.rkey}
+
+    def _do_free_unit(self, node: Node, body: dict) -> dict:
+        seg = self._segments[node.id]
+        try:
+            self._allocators[node.id].free(body["addr"] - seg.addr)
+        except DDSSError as exc:
+            return {"error": str(exc)}
+        return {"ok": True}
+
+    def _do_register(self, node: Node, body: dict) -> dict:
+        if node is not self.meta_node:
+            return {"error": "register sent to non-metadata node"}
+        meta: UnitMeta = body["meta"]
+        meta = replace(meta, key=next(self._next_key))
+        self._directory[meta.key] = meta
+        return {"meta": meta}
+
+    def _do_lookup(self, node: Node, body: dict) -> dict:
+        if node is not self.meta_node:
+            return {"error": "lookup sent to non-metadata node"}
+        meta = self._directory.get(body["key"])
+        if meta is None:
+            return {"error": f"unknown key {body['key']}"}
+        return {"meta": meta}
+
+    def _do_unregister(self, node: Node, body: dict) -> dict:
+        if node is not self.meta_node:
+            return {"error": "unregister sent to non-metadata node"}
+        meta = self._directory.pop(body["key"], None)
+        if meta is None:
+            return {"error": f"unknown key {body['key']}"}
+        return {"meta": meta}

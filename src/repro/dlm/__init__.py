@@ -1,0 +1,39 @@
+"""Distributed lock managers (paper §4.2, ref [14]).
+
+Three schemes over the same interface:
+
+* :class:`SRSLManager` — traditional **S**\\ end/**R**\\ eceive-based
+  **S**\\ erver **L**\\ ocking: a lock-server process on each lock's home
+  node services two-sided requests, so every operation pays message +
+  server-CPU costs (and inflates under load).
+* :class:`DQNLManager` — **D**\\ istributed **Q**\\ ueue **N**\\ on-shared
+  **L**\\ ocking (Devulapalli & Wyckoff, ref [10]): one-sided CAS builds a
+  distributed MCS-style queue, but *every* lock is exclusive — shared
+  requests serialize.
+* :class:`NCoSEDManager` — the paper's **N**\\ etwork-based
+  **Co**\\ mbined **S**\\ hared/**E**\\ xclusive **D**\\ istributed locking:
+  the 64-bit lock word packs (exclusive-tail, shared-count); exclusive
+  requests use CAS, shared requests use fetch-and-add, so concurrent
+  shared locks are granted without serialization.
+
+All managers expose ``client(node)`` returning a
+:class:`~repro.dlm.base.LockClient` with ``acquire(lock_id, mode)`` /
+``release(lock_id)`` returning simulation events.
+"""
+
+from repro.dlm.base import LockClient, LockManagerBase, LockMode
+from repro.dlm.bench import cascade_latency, uncontended_latency
+from repro.dlm.dqnl import DQNLManager
+from repro.dlm.ncosed import NCoSEDManager
+from repro.dlm.srsl import SRSLManager
+
+__all__ = [
+    "DQNLManager",
+    "LockClient",
+    "LockManagerBase",
+    "LockMode",
+    "NCoSEDManager",
+    "SRSLManager",
+    "cascade_latency",
+    "uncontended_latency",
+]

@@ -1,0 +1,98 @@
+"""Reusable lock-manager experiment harnesses (paper Fig. 5).
+
+``cascade_latency`` reproduces the paper's cascading-unlock experiment:
+one client holds a lock exclusively while N other clients (one per node)
+queue behind it; at release time the grants cascade and we measure the
+time from the release until the *last* waiter holds the lock.
+
+* shared cascade (Fig. 5a): all waiters request SHARED — N-CoSED grants
+  them in one volley, DQNL serializes them.
+* exclusive cascade (Fig. 5b): waiters request EXCLUSIVE and each
+  releases immediately when granted, handing down the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.net.cluster import Cluster
+from repro.net.params import NetworkParams
+
+from repro.dlm.base import LockManagerBase, LockMode
+
+__all__ = ["cascade_latency", "uncontended_latency"]
+
+#: settle time (µs) for all waiters to be enqueued before the release
+_SETTLE_US = 5_000.0
+
+
+def cascade_latency(scheme_cls: Type[LockManagerBase], n_waiters: int,
+                    mode: LockMode, seed: int = 0,
+                    params: NetworkParams = None) -> Dict[str, object]:
+    """Run one cascade experiment; returns timings in µs."""
+    if n_waiters < 1:
+        raise ValueError("need at least one waiter")
+    cluster = Cluster(n_nodes=n_waiters + 2,
+                      params=params or NetworkParams.infiniband(),
+                      seed=seed)
+    manager = scheme_cls(cluster, n_locks=4)
+    lock_id = 0  # homed on node 0
+    holder = manager.client(cluster.nodes[1])
+    waiters = [manager.client(cluster.nodes[i + 2])
+               for i in range(n_waiters)]
+    grant_times: List[float] = []
+    timings: Dict[str, object] = {}
+
+    def waiter_proc(env, client, idx):
+        # stagger the enqueue slightly so CAS order is deterministic
+        yield env.timeout(10.0 * (idx + 1))
+        yield client.acquire(lock_id, mode)
+        grant_times.append(env.now)
+        # release right away: exclusive waiters hand down the chain, and
+        # schemes without a native shared mode (DQNL) need the release to
+        # let the serialized "shared" queue progress at all
+        yield client.release(lock_id)
+
+    def main(env):
+        yield holder.acquire(lock_id, LockMode.EXCLUSIVE)
+        procs = [env.process(waiter_proc(env, w, i))
+                 for i, w in enumerate(waiters)]
+        yield env.timeout(_SETTLE_US)  # everyone is queued and blocked
+        t_release = env.now
+        yield holder.release(lock_id)
+        yield env.all_of(procs)
+        timings["t_release"] = t_release
+        timings["last_grant"] = max(grant_times)
+        timings["cascade_us"] = max(grant_times) - t_release
+        timings["grant_times"] = sorted(t - t_release for t in grant_times)
+
+    done = cluster.env.process(main(cluster.env))
+    cluster.env.run_until_event(done)
+    timings["n_waiters"] = n_waiters
+    timings["mode"] = mode.value
+    timings["scheme"] = scheme_cls.SCHEME
+    return timings
+
+
+def uncontended_latency(scheme_cls: Type[LockManagerBase],
+                        mode: LockMode = LockMode.EXCLUSIVE,
+                        seed: int = 0) -> float:
+    """Mean acquire+release latency with no contention (µs)."""
+    cluster = Cluster(n_nodes=2, params=NetworkParams.infiniband(),
+                      seed=seed)
+    manager = scheme_cls(cluster, n_locks=1)
+    client = manager.client(cluster.nodes[1])
+    n_iters = 20
+
+    def main(env):
+        t0 = env.now
+        for _ in range(n_iters):
+            yield client.acquire(0, mode)
+            yield client.release(0)
+            # let fire-and-forget hand-offs quiesce
+            yield env.timeout(100.0)
+        return (env.now - t0 - 100.0 * n_iters) / n_iters
+
+    done = cluster.env.process(main(cluster.env))
+    cluster.env.run_until_event(done)
+    return done.value

@@ -1,0 +1,292 @@
+"""N-CoSED — Network-based Combined Shared/Exclusive Distributed locking.
+
+The paper's scheme (§4.2, Fig. 4; details in ref [14]).  Every lock is a
+64-bit word on its home node::
+
+    bits 63..32   token of the tail of the exclusive-requester queue
+                  (0 = no exclusive pending/holding)
+    bits 31..0    number of shared requests since the last exclusive
+                  enqueue (with no exclusive pending: the count of
+                  current shared holders)
+
+* **Exclusive acquire** — CAS the whole word to ``(me, 0)``.  Old value
+  ``(0, 0)``: granted outright.  Old ``(t, s)``: we are enqueued; notify
+  ``t`` (carrying ``s`` so it knows how many shared grants precede us)
+  and wait for its hand-off plus ``s`` shared-release notifications.
+  Old ``(0, s)``: no predecessor — just wait for ``s`` current shared
+  holders to drain.
+* **Shared acquire** — fetch-and-add +1.  If the returned word has no
+  exclusive tail the lock is held immediately — *this* is what makes
+  shared cascades O(1) instead of O(n).  Otherwise register with the
+  tail and wait for its grant.
+* **Release** — exclusive: grant all shared requests registered during
+  the tenure at once (posted back-to-back), then hand off to the
+  exclusive successor; or CAS the word free.  Shared: decrement the
+  count with CAS if no exclusive is pending, else notify the pending
+  exclusive.
+
+Shared-release notifications that reach an exclusive requester which is
+still waiting on a *predecessor* are forwarded up the chain: they belong
+to an earlier tenure by construction (a requester is granted only after
+every notification it is owed has arrived).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import LockError
+from repro.net.memory import MemoryRegion
+from repro.net.node import Node
+
+from repro.dlm.base import LockClient, LockManagerBase, LockMode
+
+__all__ = ["NCoSEDManager", "NCoSEDClient"]
+
+_LOW32 = 0xFFFFFFFF
+
+
+def pack(tail: int, count: int) -> int:
+    if tail < 0 or tail > _LOW32 or count < 0 or count > _LOW32:
+        raise LockError(f"word fields out of range: tail={tail} n={count}")
+    return (tail << 32) | count
+
+
+def unpack(word: int):
+    return (word >> 32) & _LOW32, word & _LOW32
+
+
+class NCoSEDManager(LockManagerBase):
+    SCHEME = "ncosed"
+
+    def _setup_homes(self) -> None:
+        self._words: Dict[int, MemoryRegion] = {}
+        for node in self.members:
+            self._words[node.id] = node.memory.register(
+                8 * self.n_locks, name=f"ncosed-words@{node.name}")
+
+    def word(self, lock_id: int):
+        home = self.home_node(lock_id)
+        region = self._words[home.id]
+        return home.id, region.addr + 8 * lock_id, region.rkey
+
+    def raw_word(self, lock_id: int) -> int:
+        """Direct (zero-time) view of the lock word, for tests."""
+        home = self.home_node(lock_id)
+        region = self._words[home.id]
+        return region.read_u64(8 * lock_id)
+
+    def client(self, node: Node) -> "NCoSEDClient":
+        return NCoSEDClient(self, node)
+
+
+class _Tenure:
+    """Exclusive-tenure bookkeeping on one lock."""
+
+    __slots__ = ("registered", "xenq")
+
+    def __init__(self):
+        self.registered: List[int] = []   # senq senders (shared waiters)
+        self.xenq: Optional[dict] = None  # successor announcement
+
+
+class NCoSEDClient(LockClient):
+    def __init__(self, manager: NCoSEDManager, node: Node):
+        super().__init__(manager, node)
+        self._held: Dict[int, LockMode] = {}
+        self._tenures: Dict[int, _Tenure] = {}
+
+    # ------------------------------------------------------------------
+    # acquire
+    # ------------------------------------------------------------------
+    def _acquire(self, lock_id: int, mode: LockMode):
+        if lock_id in self._held:
+            raise LockError(f"client {self.token} already holds {lock_id}")
+        if mode is LockMode.SHARED:
+            yield from self._acquire_shared(lock_id)
+        else:
+            yield from self._acquire_exclusive(lock_id)
+        self._held[lock_id] = mode
+        self._granted(lock_id, mode)
+        return None
+
+    def _acquire_shared(self, lock_id: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        old = yield self.node.nic.faa(home, addr, rkey, 1)
+        tail, _count = unpack(old)
+        if tail == 0:
+            return  # granted immediately, concurrently with other shareds
+        # an exclusive is pending/holding: register with the tail and wait
+        self._peer_send(tail, {"t": "nc", "kind": "senq",
+                               "lock": lock_id, "frm": self.token})
+        while True:
+            body = yield from self._wait(lock_id, "nc")
+            if body["kind"] == "sgrant":
+                return
+            # anything else on a shared wait is a protocol violation
+            raise LockError(f"shared waiter got {body['kind']}")
+
+    def _acquire_exclusive(self, lock_id: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        nic = self.node.nic
+        tenure = _Tenure()
+        while True:
+            old = yield nic.cas(home, addr, rkey, 0, pack(self.token, 0))
+            if old == 0:
+                self._tenures[lock_id] = tenure
+                return  # free word: granted
+            tail, count = unpack(old)
+            old2 = yield nic.cas(home, addr, rkey, old,
+                                 pack(self.token, 0))
+            if old2 != old:
+                continue  # lost the race; retry with fresh value
+            # enqueued: we are the new tail; shared requests from now on
+            # register with us, so open the tenure before waiting
+            self._tenures[lock_id] = tenure
+            pred = tail if tail != 0 else None
+            if pred is not None:
+                self._peer_send(pred, {"t": "nc", "kind": "xenq",
+                                       "lock": lock_id, "frm": self.token,
+                                       "scount": count})
+            yield from self._await_grant(lock_id, tenure, pred, count)
+            return
+
+    def _await_grant(self, lock_id: int, tenure: _Tenure,
+                     pred: Optional[int], srel_needed: int):
+        """Wait for hand-off from ``pred`` plus ``srel_needed`` drains."""
+        need_xgrant = pred is not None
+        srel_got = 0
+        while need_xgrant or srel_got < srel_needed:
+            body = yield from self._wait(lock_id, "nc")
+            kind = body["kind"]
+            if kind == "xgrant":
+                need_xgrant = False
+            elif kind == "srel":
+                if need_xgrant:
+                    # belongs to an earlier tenure: forward up the chain
+                    self._peer_send(pred, dict(body))
+                else:
+                    srel_got += 1
+            elif kind == "senq":
+                tenure.registered.append(body["frm"])
+            elif kind == "xenq":
+                tenure.xenq = body
+            else:  # pragma: no cover - defensive
+                raise LockError(f"unexpected message {kind!r}")
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def _release(self, lock_id: int):
+        mode = self._held.pop(lock_id, None)
+        if mode is None:
+            raise LockError(f"client {self.token} does not hold {lock_id}")
+        self._released(lock_id)
+        if mode is LockMode.SHARED:
+            yield from self._release_shared(lock_id)
+        else:
+            yield from self._release_exclusive(lock_id)
+        return None
+
+    def _release_shared(self, lock_id: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        nic = self.node.nic
+        while True:
+            raw = yield nic.rdma_read(home, addr, rkey, 8)
+            word = int.from_bytes(raw, "big")
+            tail, count = unpack(word)
+            if tail != 0:
+                # an exclusive is pending: it (or its chain head) absorbs
+                # our drain notification
+                self._peer_send(tail, {"t": "nc", "kind": "srel",
+                                       "lock": lock_id, "frm": self.token})
+                return
+            if count == 0:  # pragma: no cover - accounting bug guard
+                raise LockError("shared release with zero count")
+            old = yield nic.cas(home, addr, rkey, word,
+                                pack(0, count - 1))
+            if old == word:
+                return
+
+    def _release_exclusive(self, lock_id: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        nic = self.node.nic
+        tenure = self._tenures.pop(lock_id)
+        self._drain_pending(lock_id, tenure)
+        if tenure.xenq is None:
+            # Fast path: guess the word from local bookkeeping and CAS it
+            # in one round trip.  The guess is exact unless a shared FAA
+            # or exclusive CAS is in flight, in which case we fall back.
+            n_reg = len(tenure.registered)
+            guess = pack(self.token, n_reg)
+            old = yield nic.cas(home, addr, rkey, guess, pack(0, n_reg))
+            if old == guess:
+                for waiter in tenure.registered:
+                    self._peer_send(waiter, {"t": "nc", "kind": "sgrant",
+                                             "lock": lock_id})
+                return
+            # no successor yet: retire via the word the slow way
+            while tenure.xenq is None:
+                raw = yield nic.rdma_read(home, addr, rkey, 8)
+                word = int.from_bytes(raw, "big")
+                tail, count = unpack(word)
+                if tail != self.token:
+                    # a successor swapped itself in: await its xenq
+                    yield from self._collect_until(lock_id, tenure, "xenq")
+                    break
+                while len(tenure.registered) < count and tenure.xenq is None:
+                    yield from self._collect_until(lock_id, tenure, None)
+                if tenure.xenq is not None:
+                    break
+                old = yield nic.cas(home, addr, rkey, word, pack(0, count))
+                if old != word:
+                    continue  # word moved under us; reassess
+                # lock is no longer exclusively owned: grant every shared
+                # waiter registered during our tenure in one volley
+                for waiter in tenure.registered:
+                    self._peer_send(waiter, {"t": "nc", "kind": "sgrant",
+                                             "lock": lock_id})
+                return
+        # hand off to the exclusive successor: first grant the shared
+        # requests that arrived before the successor enqueued
+        succ = tenure.xenq["frm"]
+        s_mine = tenure.xenq["scount"]
+        while len(tenure.registered) < s_mine:
+            yield from self._collect_until(lock_id, tenure, "senq")
+        if len(tenure.registered) != s_mine:  # pragma: no cover - guard
+            raise LockError("registered shared waiters exceed snapshot")
+        for waiter in tenure.registered:
+            self._peer_send(waiter, {"t": "nc", "kind": "sgrant",
+                                     "lock": lock_id})
+        self._peer_send(succ, {"t": "nc", "kind": "xgrant",
+                               "lock": lock_id})
+        return
+
+    # -- helpers -----------------------------------------------------------
+    def _drain_pending(self, lock_id: int, tenure: _Tenure) -> None:
+        """Absorb protocol messages that arrived while we were holding."""
+        q = self._queue(lock_id, "nc")
+        while True:
+            ok, body = q.try_get()
+            if not ok:
+                return
+            self._classify(tenure, body)
+
+    def _collect_until(self, lock_id: int, tenure: _Tenure,
+                       kind: Optional[str]):
+        """Blocking-consume one message (of ``kind`` if given)."""
+        body = yield from self._wait(lock_id, "nc")
+        self._classify(tenure, body)
+        if kind is not None and body["kind"] != kind:
+            yield from self._collect_until(lock_id, tenure, kind)
+
+    def _classify(self, tenure: _Tenure, body: dict) -> None:
+        kind = body["kind"]
+        if kind == "senq":
+            tenure.registered.append(body["frm"])
+        elif kind == "xenq":
+            if tenure.xenq is not None:  # pragma: no cover - guard
+                raise LockError("two exclusive successors announced")
+            tenure.xenq = body
+        else:  # pragma: no cover - defensive
+            raise LockError(f"unexpected message {kind!r} while holding")

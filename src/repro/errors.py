@@ -1,0 +1,71 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RdmaError",
+    "ProtectionError",
+    "BoundsError",
+    "TransportError",
+    "ConnectionResetError_",
+    "DDSSError",
+    "AllocationError",
+    "CoherenceError",
+    "LockError",
+    "CacheError",
+    "MonitorError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class RdmaError(ReproError):
+    """Base class for RDMA verb failures."""
+
+
+class ProtectionError(RdmaError):
+    """Remote access with a wrong or revoked rkey."""
+
+
+class BoundsError(RdmaError):
+    """Remote access outside a registered memory region."""
+
+
+class TransportError(ReproError):
+    """Socket/SDP transport failure."""
+
+
+class ConnectionResetError_(TransportError):
+    """Peer endpoint was closed while data was in flight."""
+
+
+class DDSSError(ReproError):
+    """Distributed data sharing substrate failure."""
+
+
+class AllocationError(DDSSError):
+    """No space left in any shared-state segment."""
+
+
+class CoherenceError(DDSSError):
+    """Coherence-model contract violation."""
+
+
+class LockError(ReproError):
+    """Distributed lock manager protocol failure."""
+
+
+class CacheError(ReproError):
+    """Cooperative cache failure."""
+
+
+class MonitorError(ReproError):
+    """Resource-monitoring failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration of a simulated component."""

@@ -1,0 +1,64 @@
+"""Cluster builder: environment + fabric + homogeneous nodes in one call."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.sim import Environment, RngStreams
+
+from repro.net.fabric import Fabric
+from repro.net.node import Node
+from repro.net.params import NetworkParams
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated cluster: one Environment, one Fabric, N nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of homogeneous nodes to create (ignored if ``names``).
+    names:
+        Explicit node names; one node per name.
+    params:
+        Interconnect model; defaults to :meth:`NetworkParams.infiniband`.
+    cores_per_node:
+        CPU cores of every node.
+    seed:
+        Root seed for all named RNG streams (:class:`RngStreams`).
+    """
+
+    def __init__(self, n_nodes: int = 0,
+                 names: Optional[Sequence[str]] = None,
+                 params: Optional[NetworkParams] = None,
+                 cores_per_node: int = 2,
+                 seed: int = 0):
+        if names is None:
+            if n_nodes <= 0:
+                raise ConfigError("need n_nodes > 0 or explicit names")
+            names = [f"node{i}" for i in range(n_nodes)]
+        elif n_nodes and n_nodes != len(names):
+            raise ConfigError("n_nodes inconsistent with names")
+        self.params = params or NetworkParams.infiniband()
+        self.env = Environment()
+        self.rng = RngStreams(seed)
+        self.fabric = Fabric(self.env, self.params)
+        self.nodes: List[Node] = [
+            Node(self.env, i, self.fabric, name=name, cores=cores_per_node)
+            for i, name in enumerate(names)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.env.run(until=until)
+
+    def run_until(self, event, limit: float = 1e12):
+        return self.env.run_until_event(event, limit=limit)

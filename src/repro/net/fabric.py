@@ -1,0 +1,116 @@
+"""The switched fabric: moves bytes between nodes with realistic timing.
+
+A transfer from node A to node B costs::
+
+    nic_tx  +  egress-link hold (serialization)  +  wire latency  +  nic_rx
+
+The per-node egress link is a FIFO resource, so concurrent large
+transfers from the same node queue behind each other — this is what makes
+bandwidth a shared, contended quantity (needed for the cooperative-cache
+and flow-control experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.sim import Environment, Event, Resource
+
+from repro.net.params import NetworkParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects nodes; accounts latency, serialization and contention."""
+
+    def __init__(self, env: Environment, params: NetworkParams):
+        self.env = env
+        self.params = params
+        self._nodes: Dict[int, "Node"] = {}
+        self._egress: Dict[int, Resource] = {}
+        self.bytes_moved = 0
+        self.transfers = 0
+
+    # -- topology ---------------------------------------------------------
+    def attach(self, node: "Node") -> None:
+        if node.id in self._nodes:
+            raise ConfigError(f"node id {node.id} already attached")
+        self._nodes[node.id] = node
+        self._egress[node.id] = Resource(self.env, capacity=1)
+
+    def node(self, node_id: int) -> "Node":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigError(f"unknown node id {node_id}") from None
+
+    @property
+    def node_ids(self):
+        return tuple(self._nodes)
+
+    # -- data movement ------------------------------------------------------
+    def transfer(self, src_id: int, dst_id: int, nbytes: int) -> Event:
+        """Move ``nbytes`` from src to dst; event fires on arrival at dst.
+
+        Same-node transfers cost only the local loopback latency.
+        """
+        if src_id not in self._nodes or dst_id not in self._nodes:
+            raise ConfigError(f"transfer between unknown nodes "
+                              f"{src_id}->{dst_id}")
+        if nbytes < 0:
+            raise ConfigError("cannot transfer negative bytes")
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        if src_id == dst_id:
+            return self.env.timeout(self.params.local_op_us)
+        return self.env.process(
+            self._transfer_proc(src_id, nbytes),
+            name=f"xfer-{src_id}->{dst_id}",
+        )
+
+    def _transfer_proc(self, src_id: int, nbytes: int):
+        p = self.params
+        yield self.env.timeout(p.nic_tx_us)
+        link = self._egress[src_id]
+        yield link.acquire()
+        try:
+            yield self.env.timeout(p.serialization_us(nbytes))
+        finally:
+            link.release()
+        yield self.env.timeout(p.wire_latency_us + p.nic_rx_us)
+
+    def multicast(self, src_id: int, dst_ids, nbytes: int) -> Event:
+        """Hardware-style multicast: one injection, switch replication.
+
+        The sender serializes the payload onto its egress link exactly
+        once; the switch fans it out, so every destination receives at
+        (send + wire + rx) regardless of group size — unlike a
+        sender-side loop of unicasts.  The event fires when the payload
+        has landed at every destination.
+
+        This implements the "Multicast" box the paper's Figure 1 defers
+        to future work (IB hardware multicast exists; we model it).
+        """
+        dst_ids = list(dst_ids)
+        if not dst_ids:
+            raise ConfigError("multicast needs at least one destination")
+        if src_id not in self._nodes:
+            raise ConfigError(f"unknown multicast source {src_id}")
+        for dst in dst_ids:
+            if dst not in self._nodes:
+                raise ConfigError(f"unknown multicast destination {dst}")
+        if nbytes < 0:
+            raise ConfigError("cannot transfer negative bytes")
+        self.transfers += 1
+        self.bytes_moved += nbytes  # injected once, replicated in-switch
+        return self.env.process(self._transfer_proc(src_id, nbytes),
+                                name=f"mcast-{src_id}")
+
+    def egress_queue_len(self, node_id: int) -> int:
+        """Transfers waiting on the node's egress link (for diagnostics)."""
+        return self._egress[node_id].queue_len

@@ -1,0 +1,273 @@
+"""The RDMA-capable NIC: verbs-style interface bound to one node.
+
+Two families of operations:
+
+* **Two-sided** (`send` / `recv`): channel semantics.  The receiver must
+  ask for the message; the sending event completes at local send
+  completion while delivery lands in the receiver's per-tag queue at
+  arrival time.  Two-sided protocols additionally pay *host CPU* when
+  the upper layer models it (see :mod:`repro.transport.tcpsock`).
+
+* **One-sided** (`rdma_read` / `rdma_write` / `cas` / `faa`): memory
+  semantics.  The remote host CPU is never involved — the simulated HCA
+  walks the protection table and touches remote memory directly, which is
+  precisely the property the paper's services exploit.
+
+Bulk payloads can be *padded*: a directory entry of 24 real bytes that
+represents an 8 KB page transfer passes ``wire_bytes=8192`` so timing
+reflects the full page while only the meaningful bytes are stored.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError, RdmaError
+from repro.sim import Environment, Event, Store
+
+from repro.net.memory import RemoteKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+    from repro.net.node import Node
+
+__all__ = ["Message", "NIC"]
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A delivered two-sided message."""
+
+    src: int
+    dst: int
+    tag: Any
+    payload: Any
+    size: int
+    sent_at: float
+    arrived_at: float = 0.0
+    mid: int = field(default_factory=lambda: next(_msg_ids))
+
+
+class NIC:
+    """Verbs interface of one node."""
+
+    def __init__(self, env: Environment, node: "Node", fabric: "Fabric"):
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.params = fabric.params
+        self._recv_queues: Dict[Any, Store] = {}
+        # counters (exposed for benches / tests)
+        self.sends = 0
+        self.rdma_reads = 0
+        self.rdma_writes = 0
+        self.atomics = 0
+
+    # ------------------------------------------------------------------
+    # two-sided channel semantics
+    # ------------------------------------------------------------------
+    def _queue(self, tag: Any) -> Store:
+        q = self._recv_queues.get(tag)
+        if q is None:
+            q = Store(self.env)
+            self._recv_queues[tag] = q
+        return q
+
+    def send(self, dst_id: int, payload: Any = None, size: int = 0,
+             tag: Any = 0) -> Event:
+        """Post a send; the returned event fires at *local* completion.
+
+        The message is enqueued at the destination when it arrives on the
+        wire (header + ``size`` payload bytes).
+        """
+        if size < 0:
+            raise ConfigError("negative message size")
+        self.sends += 1
+        msg = Message(src=self.node.id, dst=dst_id, tag=tag,
+                      payload=payload, size=size, sent_at=self.env.now)
+        wire = self.fabric.transfer(
+            self.node.id, dst_id, size + self.params.header_bytes)
+        dst_nic = self.fabric.node(dst_id).nic
+
+        def deliver(_ev):
+            msg.arrived_at = self.env.now
+            dst_nic._queue(tag).try_put(msg)
+
+        wire.add_callback(deliver)
+        # Local send completion: posting cost only (fire-and-forget).
+        return self.env.timeout(self.params.post_us)
+
+    def send_wait(self, dst_id: int, payload: Any = None, size: int = 0,
+                  tag: Any = 0) -> Event:
+        """Like :meth:`send` but the event fires on *arrival* at dst."""
+        if size < 0:
+            raise ConfigError("negative message size")
+        self.sends += 1
+        msg = Message(src=self.node.id, dst=dst_id, tag=tag,
+                      payload=payload, size=size, sent_at=self.env.now)
+        done = self.env.event()
+        wire = self.fabric.transfer(
+            self.node.id, dst_id, size + self.params.header_bytes)
+        dst_nic = self.fabric.node(dst_id).nic
+
+        def deliver(_ev):
+            msg.arrived_at = self.env.now
+            dst_nic._queue(tag).try_put(msg)
+            done.succeed(msg)
+
+        wire.add_callback(deliver)
+        return done
+
+    def send_multicast(self, dst_ids, payload: Any = None, size: int = 0,
+                       tag: Any = 0) -> Event:
+        """Hardware multicast: one injection delivers to every member.
+
+        The returned event fires when the message has been enqueued at
+        all destinations.  Compared with a unicast loop, the sender's
+        egress link is held only once (see :meth:`Fabric.multicast`).
+        """
+        if size < 0:
+            raise ConfigError("negative message size")
+        dst_ids = list(dst_ids)
+        self.sends += 1
+        sent_at = self.env.now
+        wire = self.fabric.multicast(self.node.id, dst_ids,
+                                     size + self.params.header_bytes)
+        done = self.env.event()
+
+        def deliver(_ev):
+            for dst in dst_ids:
+                msg = Message(src=self.node.id, dst=dst, tag=tag,
+                              payload=payload, size=size,
+                              sent_at=sent_at, arrived_at=self.env.now)
+                self.fabric.node(dst).nic._queue(tag).try_put(msg)
+            done.succeed()
+
+        wire.add_callback(deliver)
+        return done
+
+    def recv(self, tag: Any = 0) -> Event:
+        """Wait for the next message with ``tag``; value is a Message."""
+        return self._queue(tag).get()
+
+    def try_recv(self, tag: Any = 0):
+        """Non-blocking receive; returns ``(ok, message_or_None)``."""
+        return self._queue(tag).try_get()
+
+    def pending(self, tag: Any = 0) -> int:
+        return len(self._queue(tag))
+
+    # ------------------------------------------------------------------
+    # one-sided memory semantics
+    # ------------------------------------------------------------------
+    def rdma_read(self, dst_id: int, addr: int, rkey: int, length: int,
+                  wire_bytes: Optional[int] = None) -> Event:
+        """Read ``length`` bytes of remote memory; value is `bytes`.
+
+        ``wire_bytes`` (>= length) inflates the timed response size for
+        padded bulk transfers.
+        """
+        self._need_rdma()
+        self.rdma_reads += 1
+        wire = length if wire_bytes is None else wire_bytes
+        if wire < length:
+            raise ConfigError("wire_bytes smaller than read length")
+        return self.env.process(
+            self._read_proc(dst_id, addr, rkey, length, wire),
+            name=f"rdma-read@{self.node.id}")
+
+    def _read_proc(self, dst_id, addr, rkey, length, wire):
+        p = self.params
+        yield self.env.timeout(p.post_us)
+        # request descriptor to target
+        yield self.fabric.transfer(self.node.id, dst_id, p.header_bytes)
+        yield self.env.timeout(p.rdma_turnaround_us)
+        data = self.fabric.node(dst_id).memory.rdma_read(addr, rkey, length)
+        # response carrying the data
+        yield self.fabric.transfer(dst_id, self.node.id,
+                                   wire + p.header_bytes)
+        return data
+
+    def rdma_write(self, dst_id: int, addr: int, rkey: int, data: bytes,
+                   wire_bytes: Optional[int] = None) -> Event:
+        """Write ``data`` into remote memory; event fires on remote ack."""
+        self._need_rdma()
+        self.rdma_writes += 1
+        wire = len(data) if wire_bytes is None else wire_bytes
+        if wire < len(data):
+            raise ConfigError("wire_bytes smaller than payload")
+        return self.env.process(
+            self._write_proc(dst_id, addr, rkey, bytes(data), wire),
+            name=f"rdma-write@{self.node.id}")
+
+    def _write_proc(self, dst_id, addr, rkey, data, wire):
+        p = self.params
+        yield self.env.timeout(p.post_us)
+        yield self.fabric.transfer(self.node.id, dst_id,
+                                   wire + p.header_bytes)
+        self.fabric.node(dst_id).memory.rdma_write(addr, rkey, data)
+        # hardware ack back to the initiator
+        yield self.fabric.transfer(dst_id, self.node.id, p.header_bytes)
+        return None
+
+    def cas(self, dst_id: int, addr: int, rkey: int,
+            compare: int, swap: int) -> Event:
+        """Remote compare-and-swap on a 64-bit word; value = old word."""
+        self._need_rdma()
+        self.atomics += 1
+        return self.env.process(
+            self._atomic_proc(dst_id, addr, rkey, "cas", compare, swap),
+            name=f"cas@{self.node.id}")
+
+    def faa(self, dst_id: int, addr: int, rkey: int, add: int) -> Event:
+        """Remote fetch-and-add on a 64-bit word; value = old word."""
+        self._need_rdma()
+        self.atomics += 1
+        return self.env.process(
+            self._atomic_proc(dst_id, addr, rkey, "faa", add, 0),
+            name=f"faa@{self.node.id}")
+
+    def _atomic_proc(self, dst_id, addr, rkey, op, a, b):
+        p = self.params
+        yield self.env.timeout(p.post_us)
+        yield self.fabric.transfer(self.node.id, dst_id, p.header_bytes)
+        yield self.env.timeout(p.atomic_exec_us)
+        mem = self.fabric.node(dst_id).memory
+        if op == "cas":
+            old = mem.cas64(addr, rkey, a, b)
+        else:
+            old = mem.faa64(addr, rkey, a)
+        yield self.fabric.transfer(dst_id, self.node.id, p.header_bytes)
+        return old
+
+    # -- convenience over RemoteKey ----------------------------------------
+    def read_key(self, key: RemoteKey, offset: int = 0,
+                 length: Optional[int] = None,
+                 wire_bytes: Optional[int] = None) -> Event:
+        sub = key.slice(offset, length)
+        return self.rdma_read(sub.node, sub.addr, sub.rkey, sub.length,
+                              wire_bytes=wire_bytes)
+
+    def write_key(self, key: RemoteKey, data: bytes, offset: int = 0,
+                  wire_bytes: Optional[int] = None) -> Event:
+        sub = key.slice(offset, len(data))
+        return self.rdma_write(sub.node, sub.addr, sub.rkey, data,
+                               wire_bytes=wire_bytes)
+
+    def cas_key(self, key: RemoteKey, offset: int,
+                compare: int, swap: int) -> Event:
+        sub = key.slice(offset, 8)
+        return self.cas(sub.node, sub.addr, sub.rkey, compare, swap)
+
+    def faa_key(self, key: RemoteKey, offset: int, add: int) -> Event:
+        sub = key.slice(offset, 8)
+        return self.faa(sub.node, sub.addr, sub.rkey, add)
+
+    def _need_rdma(self) -> None:
+        if not self.params.has_rdma:
+            raise RdmaError(
+                f"interconnect {self.params.name!r} has no RDMA support")

@@ -1,0 +1,24 @@
+"""Dynamic reconfiguration with QoS (paper §3 initial work + §6).
+
+Server nodes are partitioned among hosted *services*; a reconfiguration
+manager watches per-node load through a monitoring scheme and migrates
+nodes from underloaded to overloaded services.  The design reproduces
+the three challenges the paper calls out:
+
+* concurrency control — reconfiguration decisions serialize through a
+  CAS lock word in registered memory, so multiple front-ends never
+  migrate the same node twice (no live-locks);
+* history-aware reconfiguration — a per-node cooldown prevents server
+  thrashing;
+* sensitivity tuning — a load-imbalance ratio threshold gates every
+  migration.
+
+Priorities implement the soft-QoS extension: nodes are stolen from the
+lowest-priority donor first, and a high-priority service can always
+keep its minimum share.
+"""
+
+from repro.reconfig.manager import ReconfigManager, Service
+from repro.reconfig.experiment import burst_recovery_time
+
+__all__ = ["ReconfigManager", "Service", "burst_recovery_time"]

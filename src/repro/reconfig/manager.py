@@ -1,0 +1,165 @@
+"""Reconfiguration manager and service abstraction."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.net.node import Node
+
+from repro.monitor.schemes import MonitorBase
+
+__all__ = ["Service", "ReconfigManager"]
+
+#: CPU work per request on a serving node (µs) unless the request says
+DEFAULT_REQ_US = 300.0
+
+
+class Service:
+    """One hosted website/service: thread-per-request over its nodes.
+
+    Requests dispatch round-robin to the service's current nodes and run
+    as CPU jobs immediately (Apache's thread-per-connection model), so a
+    burst shows up as a thread spike *on the back-end nodes* — visible
+    to the reconfiguration manager only through the monitoring layer.
+    Requests already running on a migrated-away node finish where they
+    are (connection draining).
+    """
+
+    def __init__(self, name: str, nodes: Sequence[Node],
+                 priority: int = 1, min_nodes: int = 1):
+        if not nodes:
+            raise ConfigError(f"service {name!r} needs at least one node")
+        if min_nodes < 1 or min_nodes > len(nodes):
+            raise ConfigError("bad min_nodes")
+        self.name = name
+        self.priority = priority
+        self.min_nodes = min_nodes
+        self.env = nodes[0].env
+        self.nodes: List[Node] = list(nodes)
+        self.submitted = 0
+        self.completed = 0
+        self.latency_sum = 0.0
+        self._rr = itertools.count()
+
+    def add_node(self, node: Node) -> None:
+        self.nodes.append(node)
+
+    def remove_node(self, node: Node) -> None:
+        self.nodes.remove(node)
+
+    # -- load interface ---------------------------------------------------
+    def submit(self, work_us: float = DEFAULT_REQ_US) -> None:
+        node = self.nodes[next(self._rr) % len(self.nodes)]
+        self.submitted += 1
+        self.env.process(self._run_one(node, work_us),
+                         name=f"svc-{self.name}@{node.name}")
+
+    def _run_one(self, node: Node, work_us: float):
+        arrived_at = self.env.now
+        yield node.cpu.run(work_us, name=f"svc-{self.name}")
+        self.completed += 1
+        self.latency_sum += self.env.now - arrived_at
+
+    @property
+    def backlog(self) -> int:
+        """Requests in flight (running threads across the service)."""
+        return self.submitted - self.completed
+
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.completed if self.completed else 0.0
+
+
+class ReconfigManager:
+    """Watches services, migrates nodes, serialized via a CAS lock."""
+
+    def __init__(self, coordinator: Node, services: Sequence[Service],
+                 monitor: Optional[MonitorBase] = None,
+                 check_every_us: float = 2_000.0,
+                 sensitivity: float = 2.0,
+                 cooldown_us: float = 20_000.0):
+        if sensitivity <= 1.0:
+            raise ConfigError("sensitivity must exceed 1.0")
+        self.node = coordinator
+        self.env = coordinator.env
+        self.services = list(services)
+        self.monitor = monitor
+        self.check_every_us = check_every_us
+        self.sensitivity = sensitivity
+        self.cooldown_us = cooldown_us
+        #: CAS lock word serializing concurrent reconfiguration managers
+        self._lock_region = coordinator.memory.register(8, name="reconf-lock")
+        #: node id -> last migration time (history-aware reconfiguration)
+        self._last_moved: Dict[int, float] = {}
+        self.migrations: List[tuple] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigError("manager already started")
+        self._running = True
+        self.env.process(self._loop(), name="reconfig-manager")
+
+    # -- load estimation ---------------------------------------------------
+    def _service_pressure(self, svc: Service) -> float:
+        """Mean *monitored* thread count of the service's nodes.
+
+        The manager only knows what the monitoring layer tells it, so
+        its responsiveness is bounded by the monitor's granularity and
+        accuracy — the coarse-vs-fine comparison of the experiment.
+        Without a monitor it falls back to front-end-visible backlog.
+        """
+        if self.monitor is not None:
+            ids = {n.id for n in svc.nodes} & set(self.monitor.back_ids)
+            if ids:
+                threads = sum(self.monitor.view(bid)["n_threads"]
+                              for bid in ids)
+                return (threads + 1.0) / len(ids)
+        return (svc.backlog + 1.0) / max(1, len(svc.nodes))
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.check_every_us)
+            # refresh node views through the monitoring scheme, so the
+            # responsiveness of reconfiguration inherits the monitor's
+            # granularity (coarse socket vs fine-grained RDMA)
+            if self.monitor is not None:
+                for bid in self.monitor.back_ids:
+                    yield self.monitor.query(bid)
+            yield from self._maybe_migrate()
+
+    def _maybe_migrate(self):
+        hungry = max(self.services, key=self._service_pressure)
+        # donors: prefer lowest priority, then lowest pressure (QoS)
+        donors = [s for s in self.services
+                  if s is not hungry and len(s.nodes) > s.min_nodes]
+        if not donors:
+            return
+        donor = min(donors, key=lambda s: (s.priority,
+                                           self._service_pressure(s)))
+        if (self._service_pressure(hungry)
+                < self.sensitivity * self._service_pressure(donor)):
+            return
+        # pick a donor node outside its cooldown window
+        candidates = [n for n in donor.nodes
+                      if self.env.now - self._last_moved.get(n.id, -1e18)
+                      >= self.cooldown_us]
+        if not candidates:
+            return
+        node = candidates[0]
+        # concurrency control: CAS the shared lock word
+        region = self._lock_region
+        old = yield self.node.nic.cas(self.node.id, region.addr,
+                                      region.rkey, 0, 1)
+        if old != 0:
+            return  # another manager is reconfiguring; try next round
+        try:
+            donor.remove_node(node)
+            hungry.add_node(node)
+            self._last_moved[node.id] = self.env.now
+            self.migrations.append((self.env.now, node.id,
+                                    donor.name, hungry.name))
+        finally:
+            yield self.node.nic.cas(self.node.id, region.addr,
+                                    region.rkey, 1, 0)

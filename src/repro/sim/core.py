@@ -1,0 +1,366 @@
+"""Event loop, events and generator-based processes.
+
+The kernel is deliberately small and deterministic:
+
+* :class:`Environment` owns the clock and a binary-heap agenda.
+* :class:`Event` is a one-shot occurrence that carries a value (or an
+  exception) and a list of callbacks.
+* :class:`Process` wraps a generator.  Each ``yield`` must produce an
+  :class:`Event`; the process resumes when that event fires.  The process
+  itself is an event that fires when the generator returns, so processes
+  compose (``yield env.process(...)`` joins a child).
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a
+seeded simulation always replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Environment",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, yield of non-event...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a reconfiguration decision preempting a worker).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+# Sentinel for agenda entries whose event value was set at trigger time.
+_ALREADY = object()
+
+
+class Event:
+    """A one-shot occurrence.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called;
+    its callbacks then run from the event loop at the current simulation
+    time.  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._queue_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.env._queue_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run at once so late subscribers don't hang.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        env._schedule_at(env.now + delay, self, value=value)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 gen: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process requires a generator, got {type(gen).__name__}")
+        super().__init__(env)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time via an initialisation event.
+        init = Event(env)
+        init._value = None
+        init.add_callback(self._resume)
+        env._queue_event(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self:
+            raise SimulationError("process cannot interrupt itself")
+        # Detach from whatever it is waiting for; deliver the interrupt.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        carrier = Event(self.env)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier.add_callback(self._resume_throw)
+        self.env._queue_event(carrier)
+
+    # -- internal ------------------------------------------------------
+    def _resume_throw(self, event: Event) -> None:
+        self._step(event, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._step(event, throw=not event._ok)
+
+    def _step(self, event: Event, throw: bool) -> None:
+        if not self.is_alive:
+            return
+        self._target = None
+        try:
+            if throw:
+                nxt = self._gen.throw(event._value)
+            else:
+                nxt = self._gen.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self.env._queue_event(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env._queue_event(self)
+            if not self.callbacks:
+                # Nobody is watching this process: surface the crash.
+                raise
+            return
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {nxt!r}")
+        if nxt.env is not self.env:
+            raise SimulationError("yielded event belongs to another Environment")
+        self._target = nxt
+        nxt.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+        else:
+            for ev in self.events:
+                ev.add_callback(self._on_child)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.triggered}
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its children fires (value: dict of done)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all children have fired (value: dict event -> value)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and agenda."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._seq = 0
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule_at(self, when: float, event: Event,
+                     value: Any = _ALREADY) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event, value))
+
+    def _queue_event(self, event: Event) -> None:
+        """Schedule a triggered event's callbacks at the current time."""
+        self._schedule_at(self._now, event)
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Process one agenda entry."""
+        when, _seq, event, value = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        if value is not _ALREADY and event._value is _PENDING:
+            # Delayed trigger (Timeout): the value rides the agenda entry.
+            event._value = value
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    def peek(self) -> float:
+        """Time of the next agenda entry, or ``inf`` if empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the agenda is empty, ``until`` is reached, or
+        ``max_events`` entries have been processed.  Returns ``now``."""
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return self._now
+            if max_events is not None and count >= max_events:
+                return self._now
+            self.step()
+            count += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, limit: float = 1e12) -> Any:
+        """Run until ``event`` has fired.  Raises if the agenda drains or
+        the time ``limit`` passes first (deadlock detector for tests)."""
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    "agenda empty before awaited event fired (deadlock?)")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"event did not fire before t={limit}")
+            self.step()
+        # Drain zero-delay follow-ups so the event's callbacks have run.
+        while self._heap and self._heap[0][0] <= self._now and not event.processed:
+            self.step()
+        if not event._ok:
+            raise event._value
+        return event._value

@@ -1,0 +1,110 @@
+"""Request/response helper over any transport endpoint.
+
+Used by the server-based lock manager (SRSL) and the socket-based
+resource-monitoring schemes.  The server's handler runs on the node's
+shared CPU, so RPC response time degrades with node load — which is the
+behaviour those baselines exhibit in the paper.
+
+Example::
+
+    def handler(request):
+        # -> (response_payload, response_size, cpu_work_us)
+        return {"pong": request["ping"]}, 16, 2.0
+
+    server = RpcServer(TcpEndpoint(server_node), port=99, handler=handler)
+    server.start()
+
+    client = RpcClient(TcpEndpoint(client_node))
+
+    def app(env):
+        chan = yield client.open(server_node.id, port=99)
+        reply = yield chan.call({"ping": 1}, size=16)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from repro.errors import TransportError
+from repro.sim import Event
+
+from repro.transport.base import Connection, Endpoint
+
+__all__ = ["RpcServer", "RpcClient", "RpcChannel"]
+
+Handler = Callable[[Any], Tuple[Any, int, float]]
+
+
+class RpcServer:
+    """Accept-loop server executing a handler per request."""
+
+    def __init__(self, endpoint: Endpoint, port: int, handler: Handler,
+                 name: str = "rpc"):
+        self.endpoint = endpoint
+        self.env = endpoint.env
+        self.node = endpoint.node
+        self.port = port
+        self.handler = handler
+        self.name = name
+        self.requests_served = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise TransportError(f"server {self.name} already started")
+        self._started = True
+        listener = self.endpoint.listen(self.port)
+        self.env.process(self._accept_loop(listener),
+                         name=f"{self.name}-accept@{self.node.name}")
+
+    def _accept_loop(self, listener):
+        while True:
+            conn = yield listener.accept()
+            self.env.process(self._serve(conn),
+                             name=f"{self.name}-serve@{self.node.name}")
+
+    def _serve(self, conn: Connection):
+        while True:
+            datagram = yield conn.recv()
+            response, size, work_us = self.handler(datagram.payload)
+            if work_us:
+                yield self.node.cpu.run(work_us, name=f"{self.name}-handler")
+            yield conn.send(response, size=size)
+            self.requests_served += 1
+
+
+class RpcChannel:
+    """Client side of one established RPC connection."""
+
+    def __init__(self, conn: Connection):
+        self.conn = conn
+        self.env = conn.env
+        self.calls = 0
+
+    def call(self, payload: Any, size: int = 0) -> Event:
+        """Issue one request; the event's value is the response payload."""
+        self.calls += 1
+        return self.env.process(self._call_proc(payload, size),
+                                name="rpc-call")
+
+    def _call_proc(self, payload, size):
+        yield self.conn.send(payload, size=size)
+        reply = yield self.conn.recv()
+        return reply.payload
+
+
+class RpcClient:
+    """Factory of RPC channels from one endpoint."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+        self.env = endpoint.env
+
+    def open(self, server_node: int, port: int) -> Event:
+        """Connect; the event's value is an :class:`RpcChannel`."""
+        return self.env.process(self._open_proc(server_node, port),
+                                name="rpc-open")
+
+    def _open_proc(self, server_node, port):
+        conn = yield self.endpoint.connect(server_node, port)
+        return RpcChannel(conn)

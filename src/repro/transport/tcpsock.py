@@ -1,0 +1,141 @@
+"""Host-based TCP/IP socket emulation — the paper's baseline transport.
+
+Cost structure (per :class:`repro.net.params.NetworkParams`):
+
+* ``send``: host CPU ``sock_cpu_us(size)`` (kernel copy + protocol
+  processing, competing with everything else on the node's
+  processor-sharing CPU), then the wire transfer.
+* ``recv``: the datagram lands in the connection's kernel buffer at wire
+  arrival; the application's recv then pays host CPU ``sock_cpu_us(size)``
+  before data is returned.
+
+Because both ends charge the *shared* CPU, socket latency inflates when a
+node is loaded — the effect that makes socket-based monitoring inaccurate
+(Fig. 8a) and the SRSL lock server slow (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+from repro.errors import TransportError
+from repro.sim import Event
+
+from repro.transport.base import Connection, Datagram, Endpoint
+
+__all__ = ["TcpEndpoint", "TcpConnection"]
+
+_tcp_conn_ids = itertools.count(1)
+
+
+class TcpConnection(Connection):
+    """One side of an established emulated-TCP connection."""
+
+    def __init__(self, endpoint: "TcpEndpoint", peer_node: int,
+                 conn_id: int, peer_conn_id: int):
+        super().__init__(endpoint, peer_node, conn_id=conn_id)
+        self.peer_conn_id = peer_conn_id
+
+    def send(self, payload: Any = None, size: int = 0) -> Event:
+        """Application send; fires when the send() call would return."""
+        self._check_open()
+        self._account_tx(size)
+        return self.env.process(self._send_proc(payload, size),
+                                name=f"tcp-send@{self.node.name}")
+
+    def _send_proc(self, payload, size):
+        params = self.node.nic.params
+        datagram = Datagram(payload=payload, size=size, sent_at=self.env.now)
+        # Kernel copy / protocol processing on the shared CPU.
+        yield self.node.cpu.run(params.sock_cpu_us(size), name="tcp-tx")
+        self.endpoint._wire_send(self, datagram)
+        # Buffered semantics: send returns once the data is in the kernel.
+        return None
+
+    def recv(self) -> Event:
+        """Application recv; fires with the Datagram after rx CPU costs."""
+        self._check_open()
+        return self.env.process(self._recv_proc(),
+                                name=f"tcp-recv@{self.node.name}")
+
+    def _recv_proc(self):
+        params = self.node.nic.params
+        datagram = yield self._inbox.get()
+        # Kernel->user copy / protocol processing on the shared CPU.
+        yield self.node.cpu.run(params.sock_cpu_us(datagram.size),
+                                name="tcp-rx")
+        datagram.delivered_at = self.env.now
+        return datagram
+
+
+class TcpEndpoint(Endpoint):
+    """Emulated TCP/IP stack bound to one node."""
+
+    WIRE_TAG = "tcp"
+
+    def __init__(self, node):
+        super().__init__(node)
+        self._conns: Dict[int, TcpConnection] = {}
+        self._pending_connects: Dict[int, Event] = {}
+        self.env.process(self._dispatch(), name=f"tcp-dispatch@{node.name}")
+
+    # -- connection setup ---------------------------------------------
+    def connect(self, peer_node: int, port: int) -> Event:
+        """Three-way handshake; event value is the client TcpConnection."""
+        my_id = next(_tcp_conn_ids)
+        done = self.env.event()
+        self._pending_connects[my_id] = done
+        self.node.nic.send(peer_node, payload={
+            "kind": "syn", "port": port, "conn_id": my_id,
+        }, size=0, tag=self.WIRE_TAG)
+        return done
+
+    # -- wire plumbing ---------------------------------------------------
+    def _wire_send(self, conn: TcpConnection, datagram: Datagram) -> None:
+        self.node.nic.send(conn.peer_node, payload={
+            "kind": "data", "conn_id": conn.peer_conn_id, "dgram": datagram,
+        }, size=datagram.size, tag=self.WIRE_TAG)
+
+    def _dispatch(self):
+        """Demultiplex inbound wire messages to listeners/connections."""
+        while True:
+            msg = yield self.node.nic.recv(tag=self.WIRE_TAG)
+            body = msg.payload
+            kind = body["kind"]
+            if kind == "syn":
+                self._on_syn(msg.src, body)
+            elif kind == "synack":
+                self._on_synack(msg.src, body)
+            elif kind == "data":
+                self._on_data(body)
+            else:  # pragma: no cover - defensive
+                raise TransportError(f"unknown tcp frame {kind!r}")
+
+    def _on_syn(self, src: int, body: dict) -> None:
+        listener = self._listener(body["port"])
+        my_id = next(_tcp_conn_ids)
+        conn = TcpConnection(self, peer_node=src, conn_id=my_id,
+                             peer_conn_id=body["conn_id"])
+        self._conns[my_id] = conn
+        listener._offer(conn)
+        self.node.nic.send(src, payload={
+            "kind": "synack", "conn_id": body["conn_id"],
+            "server_conn_id": my_id,
+        }, size=0, tag=self.WIRE_TAG)
+
+    def _on_synack(self, src: int, body: dict) -> None:
+        done = self._pending_connects.pop(body["conn_id"], None)
+        if done is None:  # pragma: no cover - defensive
+            raise TransportError("synack for unknown connect")
+        conn = TcpConnection(self, peer_node=src,
+                             conn_id=body["conn_id"],
+                             peer_conn_id=body["server_conn_id"])
+        self._conns[body["conn_id"]] = conn
+        done.succeed(conn)
+
+    def _on_data(self, body: dict) -> None:
+        conn = self._conns.get(body["conn_id"])
+        if conn is None or conn.closed:
+            return  # RST-equivalent: silently drop to a closed port
+        conn._deliver(body["dgram"])

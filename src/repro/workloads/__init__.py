@@ -1,0 +1,21 @@
+"""Workload generators used by the evaluation (Zipf traces, file sets,
+a RUBiS-like auction mix, and thread-churn traces for the monitoring
+experiments)."""
+
+from repro.workloads.filesets import FileSet
+from repro.workloads.rubis import RubisMix, RubisTxn
+from repro.workloads.threads import ThreadChurn
+from repro.workloads.traces import OpenLoopClients, RequestTrace, TracedRequest
+from repro.workloads.zipf import ZipfGenerator, zipf_pmf
+
+__all__ = [
+    "FileSet",
+    "RubisMix",
+    "RubisTxn",
+    "OpenLoopClients",
+    "RequestTrace",
+    "ThreadChurn",
+    "TracedRequest",
+    "ZipfGenerator",
+    "zipf_pmf",
+]

@@ -1,0 +1,135 @@
+"""Trace-driven request workloads (open-loop arrivals).
+
+The closed-loop clients in :mod:`repro.datacenter.loadgen` model a
+fixed session population; real web traces instead impose an *arrival
+process* independent of system speed, which is what exposes overload
+(the admission-control scenario).  :class:`RequestTrace` generates a
+reproducible trace with:
+
+* Poisson arrivals at a controllable base rate,
+* optional diurnal-style rate modulation (sinusoid) and flash crowds,
+* Zipf document popularity.
+
+:class:`OpenLoopClients` replays a trace against the proxy tier,
+dropping nothing: if the system is slower than the trace, queues grow —
+as they would in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.node import Node
+
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["RequestTrace", "TracedRequest", "OpenLoopClients"]
+
+
+@dataclass(frozen=True)
+class TracedRequest:
+    at_us: float
+    doc: int
+
+
+class RequestTrace:
+    """Reproducible open-loop arrival trace."""
+
+    def __init__(self, rng: np.random.Generator, n_docs: int,
+                 alpha: float, rate_per_ms: float,
+                 duration_us: float,
+                 diurnal_amplitude: float = 0.0,
+                 diurnal_period_us: float = 1_000_000.0,
+                 flash_at_us: Optional[float] = None,
+                 flash_factor: float = 4.0,
+                 flash_duration_us: float = 50_000.0):
+        if rate_per_ms <= 0 or duration_us <= 0:
+            raise ConfigError("rate and duration must be positive")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ConfigError("diurnal amplitude must be in [0, 1)")
+        if flash_factor < 1.0:
+            raise ConfigError("flash factor must be >= 1")
+        self.rng = rng
+        self.zipf = ZipfGenerator(n_docs, alpha, rng)
+        self.rate_per_us = rate_per_ms / 1_000.0
+        self.duration_us = duration_us
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period_us = diurnal_period_us
+        self.flash_at_us = flash_at_us
+        self.flash_factor = flash_factor
+        self.flash_duration_us = flash_duration_us
+
+    def _rate_at(self, t: float) -> float:
+        rate = self.rate_per_us
+        if self.diurnal_amplitude:
+            phase = 2.0 * np.pi * t / self.diurnal_period_us
+            rate *= 1.0 + self.diurnal_amplitude * np.sin(phase)
+        if (self.flash_at_us is not None
+                and self.flash_at_us <= t
+                < self.flash_at_us + self.flash_duration_us):
+            rate *= self.flash_factor
+        return rate
+
+    def generate(self) -> List[TracedRequest]:
+        """Materialize the whole trace (thinning for varying rate)."""
+        peak = self.rate_per_us * (1.0 + self.diurnal_amplitude)
+        peak *= self.flash_factor if self.flash_at_us is not None else 1.0
+        out: List[TracedRequest] = []
+        t = 0.0
+        while True:
+            t += float(self.rng.exponential(1.0 / peak))
+            if t >= self.duration_us:
+                break
+            # thinning: accept proportionally to the instantaneous rate
+            if self.rng.random() <= self._rate_at(t) / peak:
+                out.append(TracedRequest(at_us=t, doc=self.zipf.next()))
+        return out
+
+
+class OpenLoopClients:
+    """Replay a trace against the proxy tier without back-pressure."""
+
+    def __init__(self, client_node: Node, proxies: Sequence,
+                 trace: List[TracedRequest],
+                 admission=None):
+        if not proxies:
+            raise ConfigError("need at least one proxy server")
+        self.node = client_node
+        self.env = client_node.env
+        self.proxies = list(proxies)
+        self.trace = list(trace)
+        self.admission = admission
+        self.issued = 0
+        self.shed = 0
+        self._rr = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigError("trace replay already started")
+        self._started = True
+        self.env.process(self._replay(), name="trace-replay")
+
+    def _replay(self):
+        for req in self.trace:
+            delay = req.at_us - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if self.admission is not None and not self.admission.admit():
+                self.shed += 1
+                continue
+            proxy = self.proxies[self._rr % len(self.proxies)]
+            self._rr += 1
+            self.issued += 1
+            # fire-and-forget: open loop imposes arrivals regardless of
+            # how the system is coping
+            self.env.process(self._one(proxy, req.doc),
+                             name="trace-request")
+
+    def _one(self, proxy, doc):
+        yield self.node.fabric.transfer(self.node.id, proxy.node.id, 200)
+        yield proxy.handle(doc, self.node.id)

@@ -1,0 +1,148 @@
+"""End-to-end tests for the auction application (DDSS + DLM + cluster)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import Cluster
+from repro.apps.auction import AuctionService
+
+
+def build(n_items=4, n_nodes=5, seed=6):
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    service = AuctionService(cluster, n_items=n_items)
+    return cluster, service
+
+
+def run(cluster, gen, limit=1e9):
+    p = cluster.env.process(gen)
+    cluster.env.run_until_event(p, limit=limit)
+    return p.value
+
+
+class TestBasics:
+    def test_browse_initial_price(self):
+        cluster, service = build()
+        app = service.app_server(cluster.nodes[1])
+
+        def main(env):
+            price, bids = yield app.browse(2)
+            return price, bids
+
+        assert run(cluster, main(cluster.env)) == (100, 0)
+
+    def test_single_bid_updates_state(self):
+        cluster, service = build()
+        app = service.app_server(cluster.nodes[1])
+
+        def main(env):
+            result = yield app.place_bid(1, 150)
+            return result
+
+        result = run(cluster, main(cluster.env))
+        assert result.accepted and result.price == 150
+        cluster.env.run(until=cluster.env.now + 1e5)
+        assert service.true_state(1) == (150, 1)
+
+    def test_low_bid_rejected(self):
+        cluster, service = build()
+        app = service.app_server(cluster.nodes[1])
+
+        def main(env):
+            yield app.place_bid(1, 200)
+            result = yield app.place_bid(1, 150)
+            return result
+
+        result = run(cluster, main(cluster.env))
+        assert not result.accepted
+        assert result.reason == "price moved"
+        assert result.price == 200
+
+    def test_catalog_snapshot(self):
+        cluster, service = build(n_items=3)
+        app = service.app_server(cluster.nodes[1])
+
+        def main(env):
+            yield app.place_bid(0, 111)
+            page = yield app.buy_now_snapshot([0, 1, 2])
+            return page
+
+        page = run(cluster, main(cluster.env))
+        assert page[0][0] == 111
+        assert page[1] == (100, 0) and page[2] == (100, 0)
+
+    def test_bad_config(self):
+        cluster = Cluster(n_nodes=2, seed=0)
+        with pytest.raises(ConfigError):
+            AuctionService(cluster, n_items=0)
+
+
+class TestConcurrency:
+    def test_no_lost_bids_across_app_servers(self):
+        """N app servers bid concurrently with increasing amounts on one
+        item: the final bid count equals the number of accepted bids and
+        the price is the maximum accepted amount."""
+        cluster, service = build(n_items=1, n_nodes=6)
+        apps = [service.app_server(n) for n in cluster.nodes[1:]]
+        results = []
+
+        def bidder(env, app, base):
+            for i in range(4):
+                r = yield app.place_bid(0, base + i * 50)
+                results.append(r)
+                yield env.timeout(37.0)
+
+        procs = [cluster.env.process(bidder(cluster.env, app,
+                                            120 + k * 7))
+                 for k, app in enumerate(apps)]
+        done = cluster.env.all_of(procs)
+        cluster.env.run_until_event(done, limit=1e9)
+        cluster.env.run(until=cluster.env.now + 1e5)
+
+        accepted = [r for r in results if r.accepted]
+        price, bids = service.true_state(0)
+        assert bids == len(accepted) == service.accepted_bids
+        assert price == max(r.price for r in accepted)
+        assert service.rejected_bids == len(results) - len(accepted)
+
+    def test_prices_monotone_per_item(self):
+        cluster, service = build(n_items=2, n_nodes=5)
+        apps = [service.app_server(n) for n in cluster.nodes[1:]]
+        history = {0: [], 1: []}
+
+        def bidder(env, app, item, seedval):
+            for i in range(5):
+                current, _ = yield app.browse(item)
+                r = yield app.place_bid(item, current + 10 + seedval)
+                if r.accepted:
+                    history[item].append(r.price)
+                yield env.timeout(29.0)
+
+        procs = []
+        for k, app in enumerate(apps):
+            procs.append(cluster.env.process(
+                bidder(cluster.env, app, k % 2, k)))
+        done = cluster.env.all_of(procs)
+        cluster.env.run_until_event(done, limit=1e9)
+        for item, prices in history.items():
+            assert prices == sorted(prices), f"item {item} went backwards"
+
+    def test_browse_staleness_is_bounded(self):
+        """DELTA coherence: a browse may lag, but never more than delta
+        bids behind the authoritative state."""
+        cluster, service = build(n_items=1, n_nodes=4)
+        writer = service.app_server(cluster.nodes[1])
+        reader = service.app_server(cluster.nodes[2])
+
+        def main(env):
+            worst = 0
+            price = 100
+            for i in range(10):
+                price += 20
+                yield writer.place_bid(0, price)
+                _p, seen_bids = yield reader.browse(0)
+                _tp, true_bids = service.true_state(0)
+                worst = max(worst, true_bids - seen_bids)
+            return worst
+
+        worst = run(cluster, main(cluster.env))
+        assert worst <= service.delta

@@ -1,0 +1,49 @@
+"""Tests for the bench-table formatting helpers."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchTable, format_series, improvement_pct
+
+
+class TestBenchTable:
+    def test_render_contains_data(self):
+        t = BenchTable("Throughput", ["scheme", "tps"], paper_ref="Fig 6a")
+        t.add("AC", 1234.5)
+        t.add("HYBCC", 2468)
+        out = t.render()
+        assert "Throughput" in out
+        assert "Fig 6a" in out
+        assert "1,234.5" in out
+        assert "2,468" in out
+        assert "HYBCC" in out
+
+    def test_row_arity_checked(self):
+        t = BenchTable("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_save_json_roundtrip(self, tmp_path):
+        t = BenchTable("x", ["a"], paper_ref="Fig 1")
+        t.add(42)
+        path = tmp_path / "out" / "t.json"
+        t.save_json(str(path))
+        data = json.loads(path.read_text())
+        assert data == {"title": "x", "paper_ref": "Fig 1",
+                        "columns": ["a"], "rows": [[42]]}
+
+    def test_empty_table_renders(self):
+        t = BenchTable("empty", ["col"])
+        assert "empty" in t.render()
+
+
+def test_improvement_pct():
+    assert improvement_pct(135.0, 100.0) == pytest.approx(35.0)
+    assert improvement_pct(50.0, 100.0) == pytest.approx(-50.0)
+    with pytest.raises(ValueError):
+        improvement_pct(1.0, 0.0)
+
+
+def test_format_series():
+    assert format_series([1, 2], [3.0, 4.5]) == "1:3.0  2:4.5"

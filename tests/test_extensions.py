@@ -1,0 +1,186 @@
+"""Tests for the Figure-1 features the paper defers to future work:
+hardware multicast, the global memory aggregator, and admission control.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, DDSSError
+from repro.net import Cluster
+from repro.ddss import DDSS, GlobalMemoryAggregator
+from repro.datacenter import AdmissionController
+from repro.monitor import KernelStats, RdmaSyncMonitor, RdmaAsyncMonitor
+
+
+class TestMulticast:
+    def test_delivers_to_all_members(self):
+        cluster = Cluster(n_nodes=5, seed=0)
+        src = cluster.nodes[0]
+        dsts = [n.id for n in cluster.nodes[1:]]
+        got = []
+
+        def receiver(env, node):
+            msg = yield node.nic.recv(tag="grp")
+            got.append((node.id, msg.payload, env.now))
+
+        for node in cluster.nodes[1:]:
+            cluster.env.process(receiver(cluster.env, node))
+
+        def sender(env):
+            yield src.nic.send_multicast(dsts, payload="announce",
+                                         size=256, tag="grp")
+
+        cluster.env.process(sender(cluster.env))
+        cluster.env.run()
+        assert sorted(nid for nid, _p, _t in got) == dsts
+        assert all(p == "announce" for _n, p, _t in got)
+        # switch replication: everyone hears it at the same instant
+        times = {t for _n, _p, t in got}
+        assert len(times) == 1
+
+    def test_single_egress_injection(self):
+        """Group size does not multiply the sender's serialization."""
+
+        def send_time(n_dsts):
+            cluster = Cluster(n_nodes=9, seed=0)
+            src = cluster.nodes[0]
+            dsts = [n.id for n in cluster.nodes[1:1 + n_dsts]]
+
+            def sender(env):
+                t0 = env.now
+                yield src.nic.send_multicast(dsts, size=90_000)
+                return env.now - t0
+
+            p = cluster.env.process(sender(cluster.env))
+            cluster.env.run_until_event(p)
+            return p.value
+
+        assert send_time(8) == pytest.approx(send_time(1))
+
+    def test_bad_group_rejected(self):
+        cluster = Cluster(n_nodes=2, seed=0)
+        with pytest.raises(ConfigError):
+            cluster.fabric.multicast(0, [], 8)
+        with pytest.raises(ConfigError):
+            cluster.fabric.multicast(0, [99], 8)
+
+
+class TestGlobalMemoryAggregator:
+    def build(self, n_nodes=4, segment=64 * 1024):
+        cluster = Cluster(n_nodes=n_nodes, seed=1)
+        ddss = DDSS(cluster, segment_bytes=segment)
+        gma = GlobalMemoryAggregator(ddss, publish_period_us=1_000.0)
+        return cluster, ddss, gma
+
+    def test_initial_view_shows_full_segments(self):
+        cluster, ddss, gma = self.build()
+
+        def app(env):
+            view = yield gma.read_view(cluster.nodes[1])
+            return view
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p)
+        assert all(v == 64 * 1024 for v in p.value.values())
+
+    def test_publish_reflects_allocations(self):
+        cluster, ddss, gma = self.build()
+        client = ddss.client(cluster.nodes[1])
+
+        def app(env):
+            for _ in range(4):
+                yield client.allocate(8_000, placement=2)
+            yield env.timeout(5_000.0)  # let node 2 republish
+            view = yield gma.read_view(cluster.nodes[1])
+            return view
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p)
+        view = p.value
+        assert view[2] < view[0]
+        assert view[2] == ddss.allocator(2).free_bytes
+
+    def test_best_fit_pick_avoids_full_member(self):
+        cluster, ddss, gma = self.build()
+        client = ddss.client(cluster.nodes[1])
+
+        def app(env):
+            # nearly fill member 0
+            for _ in range(7):
+                yield client.allocate(8_000, placement=0)
+            yield env.timeout(5_000.0)
+            home = yield gma.pick_home(cluster.nodes[1])
+            return home
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p)
+        assert p.value != 0
+
+    def test_best_fit_placement_reduces_imbalance(self):
+        """Allocating via the aggregator spreads load more evenly than
+        hammering one round-robin-unlucky member."""
+        cluster, ddss, gma = self.build(segment=256 * 1024)
+        client = ddss.client(cluster.nodes[1])
+
+        def app(env):
+            for _ in range(24):
+                home = yield gma.pick_home(cluster.nodes[1])
+                yield client.allocate(6_000, placement=home)
+                yield env.timeout(2_500.0)
+            return gma.imbalance()
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p)
+        assert p.value < 0.10  # within 10% of a segment
+
+    def test_bad_period_rejected(self):
+        cluster = Cluster(n_nodes=2, seed=0)
+        ddss = DDSS(cluster)
+        with pytest.raises(DDSSError):
+            GlobalMemoryAggregator(ddss, publish_period_us=0)
+
+
+class TestAdmissionControl:
+    def build(self, n_back=2):
+        cluster = Cluster(n_nodes=n_back + 1, seed=2)
+        front = cluster.nodes[0]
+        backs = cluster.nodes[1:]
+        stats = {b.id: KernelStats(b) for b in backs}
+        monitor = RdmaAsyncMonitor(front, stats, period_us=500.0)
+        return cluster, front, backs, monitor
+
+    def test_accepts_when_idle(self):
+        cluster, front, backs, monitor = self.build()
+        ctl = AdmissionController(monitor, high_water=10, low_water=5)
+        cluster.env.run(until=2_000.0)
+        assert ctl.admit() is True
+        assert ctl.accepted == 1
+
+    def test_sheds_under_overload_with_hysteresis(self):
+        cluster, front, backs, monitor = self.build()
+        ctl = AdmissionController(monitor, high_water=10, low_water=5)
+        for b in backs:
+            b.cpu.set_background(15)
+        cluster.env.run(until=2_000.0)
+        assert ctl.admit() is False
+        # load falls, but only below low_water does admission resume
+        for b in backs:
+            b.cpu.set_background(7)
+        cluster.env.run(until=4_000.0)
+        assert ctl.admit() is False  # 7 > low_water: still shedding
+        for b in backs:
+            b.cpu.set_background(2)
+        cluster.env.run(until=6_000.0)
+        assert ctl.admit() is True
+        assert ctl.rejected == 2
+
+    def test_reject_ratio(self):
+        cluster, front, backs, monitor = self.build()
+        ctl = AdmissionController(monitor, high_water=10, low_water=5)
+        cluster.env.run(until=2_000.0)
+        ctl.admit()
+        assert ctl.reject_ratio == 0.0
+
+    def test_bad_watermarks(self):
+        cluster, front, backs, monitor = self.build()
+        with pytest.raises(ConfigError):
+            AdmissionController(monitor, high_water=5, low_water=5)

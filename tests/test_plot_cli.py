@@ -1,0 +1,67 @@
+"""Tests for ASCII charts and the CLI wiring."""
+
+import pytest
+
+from repro.bench.plot import ascii_bars, ascii_chart
+from repro.cli import EXPERIMENTS, main
+
+
+class TestAsciiChart:
+    def test_contains_all_series_markers(self):
+        out = ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]},
+                          x_labels=[10, 20, 30], title="t")
+        assert "t" in out
+        assert "*" in out and "o" in out
+        assert "*=a" in out and "o=b" in out
+
+    def test_axis_labels_show_extremes(self):
+        out = ascii_chart({"s": [5.0, 25.0]}, x_labels=["x", "y"])
+        assert "25.0" in out and "5.0" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1, 2]}, x_labels=[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, x_labels=[])
+
+    def test_flat_series_ok(self):
+        out = ascii_chart({"flat": [2.0, 2.0, 2.0]}, x_labels=[1, 2, 3])
+        assert "flat" in out
+
+
+class TestAsciiBars:
+    def test_bar_lengths_proportional(self):
+        out = ascii_bars({"big": 100.0, "small": 25.0}, width=40)
+        lines = {l.split("|")[0].strip(): l for l in out.splitlines()}
+        assert lines["big"].count("#") == 40
+        assert lines["small"].count("#") == 10
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"x": 0.0})
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("fig3a", "fig5a", "fig8a", "reconfig"):
+            assert exp in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_paper_figure(self):
+        assert {"fig3a", "fig3b", "fig5a", "fig5b", "fig6",
+                "fig8a", "fig8b"} <= set(EXPERIMENTS)
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "flowctl"]) == 0
+        out = capsys.readouterr().out
+        assert "Flow control" in out
+        assert "speedup" in out

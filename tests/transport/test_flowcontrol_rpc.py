@@ -1,0 +1,157 @@
+"""Tests for flow-control micro-models and the RPC helper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import Cluster, NetworkParams
+from repro.transport import (
+    CreditFlowSender,
+    FlowReceiver,
+    PacketizedFlowSender,
+    RpcClient,
+    RpcServer,
+    TcpEndpoint,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n_nodes=2, params=NetworkParams.infiniband(), seed=0)
+
+
+class TestFlowControl:
+    def run_stream(self, cluster, sender_cls, n, size, nbufs=16):
+        rx = FlowReceiver(cluster.nodes[1], nbufs=nbufs, buf_bytes=8192)
+        tx = sender_cls(cluster.nodes[0], rx)
+        p = cluster.env.process(tx.stream(n, size))
+        cluster.env.run_until_event(p)
+        return p.value, rx
+
+    def test_credit_stream_delivers_all(self, cluster):
+        bw, rx = self.run_stream(cluster, CreditFlowSender, 100, 512)
+        assert rx.delivered == 100
+        assert rx.delivered_bytes == 100 * 512
+        assert bw > 0
+
+    def test_packetized_stream_delivers_all(self, cluster):
+        bw, rx = self.run_stream(cluster, PacketizedFlowSender, 100, 512)
+        assert rx.delivered == 100
+        assert bw > 0
+
+    def test_packetized_beats_credit_for_tiny_messages(self):
+        """The paper's §6 claim: ~order of magnitude for small messages."""
+        results = {}
+        for cls in (CreditFlowSender, PacketizedFlowSender):
+            c = Cluster(n_nodes=2, params=NetworkParams.infiniband(), seed=0)
+            rx = FlowReceiver(c.nodes[1], nbufs=8, buf_bytes=8192)
+            tx = cls(c.nodes[0], rx)
+            p = c.env.process(tx.stream(400, 64))
+            c.env.run_until_event(p)
+            results[cls.__name__] = p.value
+        ratio = (results["PacketizedFlowSender"]
+                 / results["CreditFlowSender"])
+        assert ratio > 2.0
+
+    def test_similar_for_buffer_sized_messages(self):
+        """At msg == buffer size there is nothing to pack: schemes converge."""
+        results = {}
+        for cls in (CreditFlowSender, PacketizedFlowSender):
+            c = Cluster(n_nodes=2, params=NetworkParams.infiniband(), seed=0)
+            rx = FlowReceiver(c.nodes[1], nbufs=8, buf_bytes=8192)
+            tx = cls(c.nodes[0], rx)
+            p = c.env.process(tx.stream(100, 8192))
+            c.env.run_until_event(p)
+            results[cls.__name__] = p.value
+        ratio = (results["PacketizedFlowSender"]
+                 / results["CreditFlowSender"])
+        assert 0.5 < ratio < 2.0
+
+    def test_message_larger_than_buffer_rejected(self, cluster):
+        rx = FlowReceiver(cluster.nodes[1], nbufs=4, buf_bytes=1024)
+        tx = CreditFlowSender(cluster.nodes[0], rx)
+        gen = tx.stream(1, 2048)
+        with pytest.raises(ConfigError):
+            cluster.env.run_until_event(cluster.env.process(gen))
+
+    def test_bad_receiver_config(self, cluster):
+        with pytest.raises(ConfigError):
+            FlowReceiver(cluster.nodes[1], nbufs=0)
+
+
+class TestRpc:
+    def test_call_roundtrip(self, cluster):
+        server_ep = TcpEndpoint(cluster.nodes[0])
+        client_ep = TcpEndpoint(cluster.nodes[1])
+
+        def handler(req):
+            return {"echo": req["x"] * 2}, 32, 1.0
+
+        RpcServer(server_ep, port=99, handler=handler).start()
+        client = RpcClient(client_ep)
+
+        def app(env):
+            chan = yield client.open(0, port=99)
+            r1 = yield chan.call({"x": 21}, size=16)
+            r2 = yield chan.call({"x": 5}, size=16)
+            return r1, r2, chan.calls
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run()
+        r1, r2, calls = p.value
+        assert r1 == {"echo": 42}
+        assert r2 == {"echo": 10}
+        assert calls == 2
+
+    def test_multiple_clients_one_server(self, cluster):
+        c = Cluster(n_nodes=4, params=NetworkParams.infiniband(), seed=0)
+        server_ep = TcpEndpoint(c.nodes[0])
+
+        def handler(req):
+            return req + 1, 8, 0.5
+
+        server = RpcServer(server_ep, port=7, handler=handler)
+        server.start()
+        answers = []
+
+        def app(env, node, val):
+            client = RpcClient(TcpEndpoint(node))
+            chan = yield client.open(0, port=7)
+            resp = yield chan.call(val, size=8)
+            answers.append(resp)
+
+        for i, node in enumerate(c.nodes[1:]):
+            c.env.process(app(c.env, node, i * 10))
+        c.env.run()
+        assert sorted(answers) == [1, 11, 21]
+        assert server.requests_served == 3
+
+    def test_server_double_start_rejected(self, cluster):
+        from repro.errors import TransportError
+        ep = TcpEndpoint(cluster.nodes[0])
+        server = RpcServer(ep, port=1, handler=lambda r: (r, 0, 0.0))
+        server.start()
+        with pytest.raises(TransportError):
+            server.start()
+
+    def test_server_under_load_is_slow(self):
+        """RPC latency inflates when the server node is CPU-saturated."""
+
+        def measure(load):
+            c = Cluster(n_nodes=2, params=NetworkParams.infiniband(), seed=0)
+            c.nodes[0].cpu.set_background(load)
+            server_ep = TcpEndpoint(c.nodes[0])
+            RpcServer(server_ep, port=9,
+                      handler=lambda r: (r, 8, 5.0)).start()
+            client = RpcClient(TcpEndpoint(c.nodes[1]))
+
+            def app(env):
+                chan = yield client.open(0, port=9)
+                t0 = env.now
+                yield chan.call("ping", size=8)
+                return env.now - t0
+
+            p = c.env.process(app(c.env))
+            c.env.run()
+            return p.value
+
+        assert measure(30) > 3 * measure(0)

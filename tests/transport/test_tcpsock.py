@@ -1,0 +1,195 @@
+"""Tests for the emulated TCP/IP socket transport."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import Cluster, NetworkParams
+from repro.transport import TcpEndpoint
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(n_nodes=3, params=NetworkParams.infiniband(), seed=0)
+
+
+def setup_pair(cluster, port=80):
+    server = TcpEndpoint(cluster.nodes[0])
+    client = TcpEndpoint(cluster.nodes[1])
+    listener = server.listen(port)
+    return server, client, listener
+
+
+def test_connect_accept_roundtrip(cluster):
+    server, client, listener = setup_pair(cluster)
+    result = {}
+
+    def server_side(env):
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        result["server_got"] = msg.payload
+        yield conn.send({"reply": True}, size=64)
+
+    def client_side(env):
+        conn = yield client.connect(cluster.nodes[0].id, port=80)
+        yield conn.send({"hello": 1}, size=128)
+        msg = yield conn.recv()
+        result["client_got"] = msg.payload
+
+    cluster.env.process(server_side(cluster.env))
+    cluster.env.process(client_side(cluster.env))
+    cluster.env.run()
+    assert result == {"server_got": {"hello": 1},
+                      "client_got": {"reply": True}}
+
+
+def test_connect_refused_without_listener(cluster):
+    TcpEndpoint(cluster.nodes[0])  # server stack exists, nothing listening
+    client = TcpEndpoint(cluster.nodes[1])
+    errors = []
+
+    def client_side(env):
+        try:
+            yield client.connect(cluster.nodes[0].id, port=9999)
+        except TransportError as exc:
+            errors.append(str(exc))
+
+    cluster.env.process(client_side(cluster.env))
+    with pytest.raises(TransportError, match="connection refused"):
+        cluster.env.run()
+
+
+def test_double_bind_rejected(cluster):
+    server = TcpEndpoint(cluster.nodes[0])
+    server.listen(80)
+    with pytest.raises(TransportError):
+        server.listen(80)
+
+
+def test_one_endpoint_per_node(cluster):
+    TcpEndpoint(cluster.nodes[0])
+    with pytest.raises(TransportError):
+        TcpEndpoint(cluster.nodes[0])
+
+
+def test_endpoint_of_lookup(cluster):
+    ep = TcpEndpoint(cluster.nodes[0])
+    assert TcpEndpoint.of(cluster.nodes[0]) is ep
+    with pytest.raises(TransportError):
+        TcpEndpoint.of(cluster.nodes[1])
+
+
+def test_latency_inflates_with_cpu_load(cluster):
+    """Socket RTT must grow when the server node CPU is saturated."""
+
+    def measure(load):
+        c = Cluster(n_nodes=2, params=NetworkParams.infiniband(), seed=0)
+        server = TcpEndpoint(c.nodes[0])
+        client = TcpEndpoint(c.nodes[1])
+        listener = server.listen(80)
+        c.nodes[0].cpu.set_background(load)
+
+        def server_side(env):
+            conn = yield listener.accept()
+            msg = yield conn.recv()
+            yield conn.send("pong", size=msg.size)
+
+        def client_side(env):
+            conn = yield client.connect(0, port=80)
+            t0 = env.now
+            yield conn.send("ping", size=1024)
+            yield conn.recv()
+            return env.now - t0
+
+        c.env.process(server_side(c.env))
+        p = c.env.process(client_side(c.env))
+        c.env.run()
+        return p.value
+
+    idle = measure(0)
+    loaded = measure(40)
+    assert loaded > 3 * idle
+
+
+def test_send_returns_before_delivery(cluster):
+    """Buffered semantics: send() returns without waiting for the peer."""
+    server, client, listener = setup_pair(cluster)
+    times = {}
+
+    def server_side(env):
+        conn = yield listener.accept()
+        yield env.timeout(500.0)  # peer is slow to call recv
+        msg = yield conn.recv()
+        times["recv_done"] = env.now
+
+    def client_side(env):
+        conn = yield client.connect(0, port=80)
+        t0 = env.now
+        yield conn.send("x", size=100)
+        times["send_done"] = env.now - t0
+
+    cluster.env.process(server_side(cluster.env))
+    cluster.env.process(client_side(cluster.env))
+    cluster.env.run()
+    assert times["send_done"] < 100.0
+    assert times["recv_done"] >= 500.0
+
+
+def test_fifo_message_order(cluster):
+    server, client, listener = setup_pair(cluster)
+
+    def server_side(env):
+        conn = yield listener.accept()
+        got = []
+        for _ in range(5):
+            msg = yield conn.recv()
+            got.append(msg.payload)
+        return got
+
+    def client_side(env):
+        conn = yield client.connect(0, port=80)
+        for i in range(5):
+            yield conn.send(i, size=64)
+
+    sp = cluster.env.process(server_side(cluster.env))
+    cluster.env.process(client_side(cluster.env))
+    cluster.env.run()
+    assert sp.value == [0, 1, 2, 3, 4]
+
+
+def test_closed_connection_rejects_send(cluster):
+    server, client, listener = setup_pair(cluster)
+
+    def client_side(env):
+        conn = yield client.connect(0, port=80)
+        conn.close()
+        try:
+            conn.send("x", size=1)
+        except TransportError:
+            return "rejected"
+
+    def server_side(env):
+        yield listener.accept()
+
+    cluster.env.process(server_side(cluster.env))
+    p = cluster.env.process(client_side(cluster.env))
+    cluster.env.run()
+    assert p.value == "rejected"
+
+
+def test_tx_accounting(cluster):
+    server, client, listener = setup_pair(cluster)
+
+    def server_side(env):
+        conn = yield listener.accept()
+        yield conn.recv()
+
+    def client_side(env):
+        conn = yield client.connect(0, port=80)
+        yield conn.send("x", size=300)
+        return conn
+
+    cluster.env.process(server_side(cluster.env))
+    p = cluster.env.process(client_side(cluster.env))
+    cluster.env.run()
+    assert p.value.tx_messages == 1
+    assert p.value.tx_bytes == 300

@@ -1,0 +1,119 @@
+"""Tests for trace generation and open-loop replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import Cluster
+from repro.cache import ApacheCache
+from repro.datacenter import (
+    AdmissionController,
+    BackendTier,
+    DataCenterMetrics,
+    ProxyServer,
+)
+from repro.monitor import KernelStats, RdmaAsyncMonitor
+from repro.workloads import FileSet
+from repro.workloads.traces import OpenLoopClients, RequestTrace
+
+
+def make_trace(**kw):
+    defaults = dict(rng=np.random.default_rng(0), n_docs=50, alpha=0.8,
+                    rate_per_ms=2.0, duration_us=100_000.0)
+    defaults.update(kw)
+    return RequestTrace(**defaults)
+
+
+class TestRequestTrace:
+    def test_rate_roughly_respected(self):
+        trace = make_trace().generate()
+        # 2 req/ms over 100ms -> ~200 requests
+        assert 140 < len(trace) < 260
+
+    def test_sorted_and_in_range(self):
+        trace = make_trace().generate()
+        times = [r.at_us for r in trace]
+        assert times == sorted(times)
+        assert all(0 <= r.doc < 50 for r in trace)
+        assert times[-1] < 100_000.0
+
+    def test_deterministic_given_seed(self):
+        a = make_trace(rng=np.random.default_rng(7)).generate()
+        b = make_trace(rng=np.random.default_rng(7)).generate()
+        assert a == b
+
+    def test_flash_crowd_raises_local_rate(self):
+        trace = make_trace(rng=np.random.default_rng(1),
+                           flash_at_us=50_000.0, flash_factor=5.0,
+                           flash_duration_us=20_000.0).generate()
+        in_flash = sum(1 for r in trace if 50_000 <= r.at_us < 70_000)
+        before = sum(1 for r in trace if 20_000 <= r.at_us < 40_000)
+        assert in_flash > 2.5 * max(before, 1)
+
+    def test_diurnal_modulation_changes_density(self):
+        trace = make_trace(rng=np.random.default_rng(2),
+                           rate_per_ms=4.0, duration_us=1_000_000.0,
+                           diurnal_amplitude=0.9,
+                           diurnal_period_us=1_000_000.0).generate()
+        # sine peak in the first half, trough in the second
+        first = sum(1 for r in trace if r.at_us < 500_000)
+        second = len(trace) - first
+        assert first > 1.5 * second
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            make_trace(rate_per_ms=0)
+        with pytest.raises(ConfigError):
+            make_trace(diurnal_amplitude=1.5)
+        with pytest.raises(ConfigError):
+            make_trace(flash_at_us=0.0, flash_factor=0.5)
+
+
+class TestOpenLoopReplay:
+    def build(self, with_admission=False):
+        cluster = Cluster(names=["client", "proxy", "app"], seed=4)
+        fs = FileSet(50, 4096, seed=4)
+        scheme = ApacheCache([cluster.nodes[1]], fs, 64 * 1024)
+        backend = BackendTier([cluster.nodes[2]], fs)
+        metrics = DataCenterMetrics(cluster.env)
+        server = ProxyServer(cluster.nodes[1], scheme, backend, metrics)
+        admission = None
+        if with_admission:
+            stats = {cluster.nodes[2].id: KernelStats(cluster.nodes[2])}
+            monitor = RdmaAsyncMonitor(cluster.nodes[0], stats,
+                                       period_us=500.0)
+            admission = AdmissionController(monitor, high_water=6,
+                                            low_water=3)
+        return cluster, server, metrics, admission
+
+    def test_replay_serves_all_requests(self):
+        cluster, server, metrics, _ = self.build()
+        trace = make_trace(rate_per_ms=0.5,
+                           duration_us=50_000.0).generate()
+        clients = OpenLoopClients(cluster.nodes[0], [server], trace)
+        clients.start()
+        cluster.env.run(until=500_000.0)
+        assert clients.issued == len(trace)
+        assert metrics.completed == len(trace)
+
+    def test_double_start_rejected(self):
+        cluster, server, metrics, _ = self.build()
+        clients = OpenLoopClients(cluster.nodes[0], [server], [])
+        clients.start()
+        with pytest.raises(ConfigError):
+            clients.start()
+
+    def test_admission_sheds_under_flash_crowd(self):
+        cluster, server, metrics, admission = self.build(
+            with_admission=True)
+        trace = make_trace(rng=np.random.default_rng(5),
+                           rate_per_ms=3.0, duration_us=150_000.0,
+                           flash_at_us=50_000.0, flash_factor=8.0,
+                           flash_duration_us=40_000.0).generate()
+        clients = OpenLoopClients(cluster.nodes[0], [server], trace,
+                                  admission=admission)
+        clients.start()
+        cluster.env.run(until=800_000.0)
+        assert clients.shed > 0
+        assert clients.issued + clients.shed == len(trace)
+        assert metrics.completed == clients.issued
