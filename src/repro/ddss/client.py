@@ -15,9 +15,10 @@ operation result; use them from processes::
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace
 from typing import Dict, Optional, Tuple, Union
 
-from repro.errors import CoherenceError, DDSSError
+from repro.errors import CoherenceError, DDSSError, FaultError, RdmaError
 from repro.net.node import Node
 from repro.sim import Event
 
@@ -58,25 +59,45 @@ class DDSSClient:
         self.gets = 0
         self.puts = 0
         self.cache_hits = 0
+        self.failovers = 0  # copies skipped as unreachable (get or put)
 
     # ------------------------------------------------------------------
     # control plane
     # ------------------------------------------------------------------
     def allocate(self, size: int, coherence: Coherence = Coherence.NULL,
                  placement: Optional[int] = None, delta: int = 2,
-                 ttl_us: float = 1000.0) -> Event:
-        """Allocate a shared unit; event value is its integer key."""
-        return self._proc(self._allocate(size, coherence, placement,
-                                         delta, ttl_us), "ddss-alloc")
+                 ttl_us: float = 1000.0, replicas: int = 0) -> Event:
+        """Allocate a shared unit; event value is its integer key.
 
-    def _allocate(self, size, coherence, placement, delta, ttl_us):
+        ``replicas`` additional copies are placed on distinct members
+        (ring order after the primary), enabling put/get failover.
+        Locked coherence models cannot be replicated: their lock word
+        lives on a single home.
+        """
+        return self._proc(self._allocate(size, coherence, placement,
+                                         delta, ttl_us, replicas),
+                          "ddss-alloc")
+
+    def _allocate(self, size, coherence, placement, delta, ttl_us,
+                  replicas=0):
         if size <= 0:
             raise DDSSError("allocation size must be positive")
+        if replicas < 0:
+            raise DDSSError("replica count must be non-negative")
+        if replicas and (coherence.locks_writes or coherence.locks_reads):
+            raise DDSSError(
+                f"{coherence.name} units cannot be replicated: the lock "
+                f"word lives on a single home")
         home = self.ddss.pick_home(placement)
+        rep_homes = self.ddss.replica_homes(home, replicas)
         reply = yield from self._control(home, {"op": "alloc", "size": size})
+        copies = []
+        for rep in rep_homes:
+            r = yield from self._control(rep, {"op": "alloc", "size": size})
+            copies.append((rep, r["addr"], r["rkey"]))
         meta = UnitMeta(key=0, home=home, addr=reply["addr"],
                         rkey=reply["rkey"], size=size, coherence=coherence,
-                        delta=delta, ttl_us=ttl_us)
+                        delta=delta, ttl_us=ttl_us, replicas=tuple(copies))
         reply = yield from self._control(self.ddss.meta_node.id,
                                          {"op": "register", "meta": meta})
         meta = reply["meta"]
@@ -93,6 +114,9 @@ class DDSSClient:
         meta: UnitMeta = reply["meta"]
         yield from self._control(meta.home,
                                  {"op": "free_unit", "addr": meta.addr})
+        for rep_home, rep_addr, _rkey in meta.replicas:
+            yield from self._control(rep_home,
+                                     {"op": "free_unit", "addr": rep_addr})
         self._meta_cache.pop(key, None)
         self._data_cache.pop(key, None)
         return None
@@ -124,6 +148,9 @@ class DDSSClient:
                 f"put of {len(data)} bytes into unit of {meta.size}")
         self.puts += 1
         yield from self._ipc_hop()
+        if meta.replicas:
+            yield from self._put_replicated(meta, data)
+            return None
         nic = self.node.nic
         model = meta.coherence
         if model.locks_writes:
@@ -163,7 +190,6 @@ class DDSSClient:
             raise DDSSError(f"get of {n} bytes from unit of {meta.size}")
         self.gets += 1
         yield from self._ipc_hop()
-        nic = self.node.nic
         model = meta.coherence
 
         if model is Coherence.TEMPORAL:
@@ -171,6 +197,23 @@ class DDSSClient:
             if cached is not None and (self.env.now - cached[2]) <= meta.ttl_us:
                 self.cache_hits += 1
                 return cached[1][:n]
+
+        last_exc = None
+        for view in self._views(meta):
+            try:
+                return (yield from self._get_at(view, n))
+            except (RdmaError, FaultError) as exc:
+                self.failovers += 1
+                last_exc = exc
+        raise DDSSError(
+            f"unit {meta.key}: no reachable copy "
+            f"({1 + len(meta.replicas)} tried)") from last_exc
+
+    def _get_at(self, meta: UnitMeta, n: int):
+        """One read attempt against one copy (``meta`` homes the copy)."""
+        nic = self.node.nic
+        model = meta.coherence
+
         if model is Coherence.DELTA:
             cached = self._data_cache.get(meta.key)
             if cached is not None:
@@ -201,6 +244,87 @@ class DDSSClient:
         if model is Coherence.TEMPORAL:
             self._data_cache[meta.key] = (0, bytes(data), self.env.now)
         return data
+
+    @staticmethod
+    def _views(meta: UnitMeta):
+        """The unit as seen through each copy, primary first."""
+        if not meta.replicas:
+            return (meta,)
+        return tuple(
+            replace(meta, home=h, addr=a, rkey=rk, replicas=())
+            for h, a, rk in meta.copies)
+
+    def _put_replicated(self, meta: UnitMeta, data: bytes):
+        """Write every reachable copy; at least one must succeed.
+
+        The version is ordered by a fetch-and-add on the first live
+        copy, then pushed with the data to the remaining copies as one
+        snapshot blob.  Copies are ordered per writer; a put that could
+        not reach any copy raises :class:`DDSSError`.  Copies on a
+        crashed node are *not* reconciled on restart — callers that
+        need that must re-put (documented limitation).
+        """
+        nic = self.node.nic
+        model = meta.coherence
+        copies = meta.copies
+        if model.versioned:
+            version = None
+            faa_at = None
+            for home, addr, rkey in copies:
+                try:
+                    old = yield nic.faa(home, addr + VERSION_OFF, rkey, 1)
+                except (RdmaError, FaultError):
+                    self.failovers += 1
+                    continue
+                version = old + 1
+                faa_at = (home, addr, rkey)
+                break
+            if version is None:
+                raise DDSSError(
+                    f"unit {meta.key}: no reachable copy to version put")
+            wrote = 0
+            for home, addr, rkey in copies:
+                try:
+                    if (home, addr, rkey) == faa_at:
+                        yield nic.rdma_write(home, addr + HEADER_BYTES,
+                                             rkey, data)
+                    else:
+                        blob = version.to_bytes(8, "big") + data
+                        yield nic.rdma_write(home, addr + VERSION_OFF,
+                                             rkey, blob)
+                    wrote += 1
+                except (RdmaError, FaultError):
+                    self.failovers += 1
+            if wrote == 0:
+                raise DDSSError(
+                    f"unit {meta.key}: put reached no copy")
+            if model.cacheable:  # DELTA: our write is the freshest copy
+                self._data_cache[meta.key] = (version, bytes(data),
+                                              self.env.now)
+            return
+        wrote = 0
+        if model is Coherence.READ:
+            version = self._next_local_version(meta.key)
+            blob = version.to_bytes(8, "big") + data
+            for home, addr, rkey in copies:
+                try:
+                    yield nic.rdma_write(home, addr + VERSION_OFF,
+                                         rkey, blob)
+                    wrote += 1
+                except (RdmaError, FaultError):
+                    self.failovers += 1
+        else:  # NULL, TEMPORAL
+            for home, addr, rkey in copies:
+                try:
+                    yield nic.rdma_write(home, addr + HEADER_BYTES,
+                                         rkey, data)
+                    wrote += 1
+                except (RdmaError, FaultError):
+                    self.failovers += 1
+            if model is Coherence.TEMPORAL and wrote:
+                self._data_cache[meta.key] = (0, bytes(data), self.env.now)
+        if wrote == 0:
+            raise DDSSError(f"unit {meta.key}: put reached no copy")
 
     def get_version(self, key: KeyOrMeta) -> Event:
         """Read the unit's version counter."""

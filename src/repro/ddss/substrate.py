@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import DDSSError
 from repro.net.cluster import Cluster
@@ -42,7 +42,13 @@ _req_ids = itertools.count(1)
 
 @dataclass(frozen=True)
 class UnitMeta:
-    """Directory entry describing one shared unit."""
+    """Directory entry describing one shared unit.
+
+    ``replicas`` lists additional copies as ``(home, addr, rkey)``
+    triples.  A put writes every reachable copy (at least one must
+    succeed); a get fails over from the primary to the replicas when a
+    copy is unreachable (see :meth:`repro.ddss.client.DDSSClient.get`).
+    """
 
     key: int
     home: int            # node id of the home segment
@@ -52,10 +58,16 @@ class UnitMeta:
     coherence: Coherence
     delta: int = 2       # max version staleness (DELTA)
     ttl_us: float = 1000.0  # max time staleness (TEMPORAL)
+    replicas: Tuple[Tuple[int, int, int], ...] = ()
 
     @property
     def data_addr(self) -> int:
         return self.addr + HEADER_BYTES
+
+    @property
+    def copies(self) -> Tuple[Tuple[int, int, int], ...]:
+        """All copies, primary first, as ``(home, addr, rkey)``."""
+        return ((self.home, self.addr, self.rkey),) + self.replicas
 
 
 class DDSS:
@@ -112,6 +124,15 @@ class DDSS:
             return placement
         idx = next(self._rr) % len(self.members)
         return self.members[idx].id
+
+    def replica_homes(self, primary: int, n: int) -> Tuple[int, ...]:
+        """``n`` distinct member nodes after ``primary``, in ring order."""
+        ids = [m.id for m in self.members]
+        if n > len(ids) - 1:
+            raise DDSSError(
+                f"{n} replicas need {n + 1} members, have {len(ids)}")
+        start = ids.index(primary)
+        return tuple(ids[(start + 1 + i) % len(ids)] for i in range(n))
 
     # -- daemon ------------------------------------------------------------
     def _daemon(self, node: Node):

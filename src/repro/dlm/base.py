@@ -19,7 +19,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 from repro.errors import LockError
 from repro.net.cluster import Cluster
 from repro.net.node import Node
-from repro.sim import Event, Store
+from repro.sim import AnyOf, Event, Store
 
 __all__ = ["LockMode", "LockManagerBase", "LockClient"]
 
@@ -97,6 +97,15 @@ class LockManagerBase:
         raise LockError(
             f"release of lock {lock_id} by non-holder {token}")
 
+    def _ledger_expunge(self, lock_id: int, token: int) -> Optional[LockMode]:
+        """Forcibly end a grant (lease revocation); None if not held."""
+        held = self.holders.setdefault(lock_id, set())
+        for entry in held:
+            if entry[0] == token:
+                held.remove(entry)
+                return entry[1]
+        return None
+
     def holder_count(self, lock_id: int) -> int:
         return len(self.holders.get(lock_id, ()))
 
@@ -166,12 +175,33 @@ class LockClient:
             # completion-queue poll + handler cost
             yield self.node.cpu.run(CLIENT_POLL_US, name="dlm-poll")
             body = msg.payload
+            if not self._accept_msg(body):
+                continue
             self._queue(body["lock"], body["t"]).try_put(body)
+
+    def _accept_msg(self, body: dict) -> bool:
+        """Filter hook (e.g. duplicate suppression); True = enqueue."""
+        return True
 
     def _wait(self, lock_id: int, kind: str):
         """Generator: wait for the next protocol message of ``kind``."""
         body = yield self._queue(lock_id, kind).get()
         return body
+
+    def _wait_lease(self, lock_id: int, kind: str, lease_us: float):
+        """Like :meth:`_wait` but gives up after ``lease_us``.
+
+        Returns the message body, or ``None`` on lease expiry.  The
+        abandoned getter is withdrawn from the queue so it cannot steal
+        a message from a later wait.
+        """
+        q = self._queue(lock_id, kind)
+        get = q.get()
+        yield AnyOf(self.env, [get, self.env.timeout(lease_us)])
+        if get.triggered:
+            return get._value
+        q.cancel_get(get)
+        return None
 
     # -- ledger shims ----------------------------------------------------
     def _granted(self, lock_id: int, mode: LockMode) -> None:

@@ -29,21 +29,64 @@ Shared-release notifications that reach an exclusive requester which is
 still waiting on a *predecessor* are forwarded up the chain: they belong
 to an earlier tenure by construction (a requester is granted only after
 every notification it is owed has arrived).
+
+Fault-tolerant mode
+-------------------
+
+Constructing the manager with ``lease_us`` switches on lease-based
+recovery (everything below is inert otherwise, and the wire protocol is
+byte-identical to the original):
+
+* The word is re-packed as ``epoch:16 | tail:24 | count:24``.  Every
+  CAS embeds the epoch it read, so an acquire racing a reclaim simply
+  loses the CAS; every FAA *returns* the epoch at execution instant, so
+  a shared requester detects that its increment landed on (or was wiped
+  with) a stale generation.
+* A manager-wide **reaper** scans the lock table every lease period.
+  When a lock's tail, a granted holder, or a client with an in-flight
+  protocol operation sits on a crashed node — or the tail token belongs
+  to nobody with business on the lock (residue of an aborted attempt) —
+  the word is wiped to ``(epoch+1, 0, 0)`` at a single instant and all
+  current grants are revoked Chubby-style: the ledger entries end at
+  the reclaim, and a surviving holder discovers the revocation when it
+  releases (the epoch no longer matches).  The wipe is home-local, so
+  remote atomics land strictly before or after it, never astride.
+* Waiters never block forever: every wait is bounded by the lease, on
+  expiry the waiter re-reads the word and restarts its attempt if the
+  epoch moved.  Protocol messages carry the epoch of the tenure they
+  belong to; stale ones are discarded.  Peer messages are re-sent a
+  bounded number of times on injected drops (RC-style reliability) and
+  de-duplicated by a per-message uid at the receiver.
+* ``acquire`` retries a bounded number of attempts with backoff and
+  raises :class:`LockError` when the budget is exhausted — it either
+  completes or fails, it never hangs.
+
+The epoch doubles as a fencing token: an application that tags its
+writes with the grant epoch can have stale holders rejected downstream.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import LockError
+from repro.errors import FaultError, LockError, RdmaError
 from repro.net.memory import MemoryRegion
 from repro.net.node import Node
 
 from repro.dlm.base import LockClient, LockManagerBase, LockMode
 
-__all__ = ["NCoSEDManager", "NCoSEDClient"]
+__all__ = ["NCoSEDManager", "NCoSEDClient", "pack", "unpack",
+           "pack_ft", "unpack_ft"]
 
 _LOW32 = 0xFFFFFFFF
+
+#: fault-tolerant word layout: epoch:16 | tail:24 | count:24
+_EP_MASK = 0xFFFF
+_F24 = 0xFFFFFF
+
+#: receiver-side dedup window for reliably re-sent protocol messages
+_UID_WINDOW = 512
 
 
 def pack(tail: int, count: int) -> int:
@@ -56,8 +99,88 @@ def unpack(word: int):
     return (word >> 32) & _LOW32, word & _LOW32
 
 
+def pack_ft(epoch: int, tail: int, count: int) -> int:
+    if tail < 0 or tail > _F24 or count < 0 or count > _F24:
+        raise LockError(f"word fields out of range: tail={tail} n={count}")
+    return ((epoch & _EP_MASK) << 48) | (tail << 24) | count
+
+
+def unpack_ft(word: int):
+    return (word >> 48) & _EP_MASK, (word >> 24) & _F24, word & _F24
+
+
+class _Stale(Exception):
+    """Internal: the attempt raced a reclaim; restart from scratch."""
+
+
 class NCoSEDManager(LockManagerBase):
+    """N-CoSED home state; pass ``lease_us`` for fault-tolerant mode.
+
+    Parameters (fault-tolerant mode only)
+    -------------------------------------
+    lease_us:
+        Wait bound: every blocking protocol wait re-validates the lock
+        word at this period.  Also the default reaper scan period.
+    detector:
+        Failure oracle with ``is_dead(node_id)`` (e.g. a
+        :class:`repro.monitor.heartbeat.HeartbeatDetector`); defaults
+        to the cluster's installed fault injector's ground truth.
+    reap_every_us / max_attempts / attempt_backoff_us:
+        Reaper period, acquire retry budget, and backoff between
+        attempts.
+    send_attempts / resend_us:
+        Bounded re-send of peer protocol messages on injected drops.
+    """
+
     SCHEME = "ncosed"
+
+    def __init__(self, cluster, n_locks: int = 64,
+                 member_nodes=None, *,
+                 lease_us: Optional[float] = None,
+                 detector=None,
+                 reap_every_us: Optional[float] = None,
+                 max_attempts: int = 12,
+                 attempt_backoff_us: Optional[float] = None,
+                 send_attempts: int = 6,
+                 resend_us: Optional[float] = None):
+        self.ft = lease_us is not None
+        if self.ft and lease_us <= 0:
+            raise LockError("lease_us must be positive")
+        if max_attempts < 1:
+            raise LockError("max_attempts must be >= 1")
+        self.lease_us = lease_us
+        self.detector = detector
+        self.max_attempts = max_attempts
+        if self.ft:
+            self.reap_every_us = reap_every_us or lease_us
+            self.attempt_backoff_us = (attempt_backoff_us
+                                       if attempt_backoff_us is not None
+                                       else lease_us / 2)
+            self.resend_us = (resend_us if resend_us is not None
+                              else lease_us / 4)
+        else:
+            self.reap_every_us = reap_every_us
+            self.attempt_backoff_us = attempt_backoff_us
+            self.resend_us = resend_us
+        self.send_attempts = send_attempts
+        #: lock -> current epoch (mirrored in the word's top 16 bits)
+        self._epochs: Dict[int, int] = {}
+        #: lock -> tokens with an in-flight acquire/release on it; this
+        #: models the per-lock lease records clients write next to their
+        #: atomics, and is what separates a live waiter from residue
+        self._active: Dict[int, Set[int]] = {}
+        #: (lock, token) -> grant epoch revoked by a reclaim
+        self._revoked: Dict[Tuple[int, int], int] = {}
+        #: lock -> tokens whose protocol obligation could not complete
+        #: (failed release, undeliverable hand-off): the word or chain
+        #: state is suspect and the reaper must reclaim
+        self._suspect: Dict[int, Set[int]] = {}
+        #: (time, lock, new_epoch) for every reclaim, for tests
+        self.reclaims: List[Tuple[float, int, int]] = []
+        super().__init__(cluster, n_locks=n_locks,
+                         member_nodes=member_nodes)
+        if self.ft:
+            self.env.process(self._reap_proc(), name="ncosed-reaper")
 
     def _setup_homes(self) -> None:
         self._words: Dict[int, MemoryRegion] = {}
@@ -79,15 +202,92 @@ class NCoSEDManager(LockManagerBase):
     def client(self, node: Node) -> "NCoSEDClient":
         return NCoSEDClient(self, node)
 
+    # ------------------------------------------------------------------
+    # fault-tolerant mode: epochs, lease records, reaper
+    # ------------------------------------------------------------------
+    def lock_epoch(self, lock_id: int) -> int:
+        return self._epochs.get(lock_id, 0)
+
+    def _note_active(self, lock_id: int, token: int) -> None:
+        self._active.setdefault(lock_id, set()).add(token)
+
+    def _unnote_active(self, lock_id: int, token: int) -> None:
+        tokens = self._active.get(lock_id)
+        if tokens is not None:
+            tokens.discard(token)
+
+    def _consume_revoked(self, lock_id: int, token: int, ep: int) -> bool:
+        if self._revoked.get((lock_id, token)) == ep:
+            del self._revoked[(lock_id, token)]
+            return True
+        return False
+
+    def _node_dead(self, node_id: int) -> bool:
+        if self.detector is not None:
+            return self.detector.is_dead(node_id)
+        injector = self.cluster.fabric.injector
+        return injector is not None and node_id in injector.down
+
+    def _token_dead(self, token: int) -> bool:
+        client = self.clients.get(token)
+        return client is not None and self._node_dead(client.node.id)
+
+    def _flag_suspect(self, lock_id: int, token: int) -> None:
+        self._suspect.setdefault(lock_id, set()).add(token)
+
+    def _reap_proc(self):
+        while True:
+            yield self.env.timeout(self.reap_every_us)
+            for lock_id in range(self.n_locks):
+                if self._should_reclaim(lock_id):
+                    self._reclaim(lock_id)
+
+    def _should_reclaim(self, lock_id: int) -> bool:
+        if self._node_dead(self.home_node(lock_id).id):
+            return False  # word unreachable; reclaim after restart
+        if self._suspect.get(lock_id):
+            return True  # a release/hand-off failed: chain state suspect
+        holders = self.holders.get(lock_id, ())
+        active = self._active.get(lock_id, ())
+        if any(self._token_dead(tok) for tok, _mode in holders):
+            return True
+        if any(self._token_dead(tok) for tok in active):
+            return True
+        _ep, tail, _count = unpack_ft(self.raw_word(lock_id))
+        if tail and tail not in active and not any(
+                tok == tail for tok, _mode in holders):
+            return True  # orphaned tail: residue of an aborted attempt
+        return False
+
+    def _reclaim(self, lock_id: int) -> None:
+        """Wipe the word at one instant and revoke every current grant.
+
+        Home-local, zero simulated time: any in-flight remote atomic
+        lands strictly before or after the wipe.  Post-wipe landings
+        are rejected by their epoch guard (CAS) or detected by the
+        epoch in the returned word (FAA).
+        """
+        old_ep = self._epochs.get(lock_id, 0)
+        new_ep = (old_ep + 1) & _EP_MASK
+        self._epochs[lock_id] = new_ep
+        home = self.home_node(lock_id)
+        self._words[home.id].write_u64(8 * lock_id, pack_ft(new_ep, 0, 0))
+        for token, _mode in list(self.holders.get(lock_id, ())):
+            self._ledger_expunge(lock_id, token)
+            self._revoked[(lock_id, token)] = old_ep
+        self._suspect.pop(lock_id, None)
+        self.reclaims.append((self.env.now, lock_id, new_ep))
+
 
 class _Tenure:
     """Exclusive-tenure bookkeeping on one lock."""
 
-    __slots__ = ("registered", "xenq")
+    __slots__ = ("registered", "xenq", "ep")
 
     def __init__(self):
         self.registered: List[int] = []   # senq senders (shared waiters)
         self.xenq: Optional[dict] = None  # successor announcement
+        self.ep = 0                       # epoch of the tenure (FT mode)
 
 
 class NCoSEDClient(LockClient):
@@ -95,6 +295,19 @@ class NCoSEDClient(LockClient):
         super().__init__(manager, node)
         self._held: Dict[int, LockMode] = {}
         self._tenures: Dict[int, _Tenure] = {}
+        self._grant_ep: Dict[int, int] = {}
+        self._seen_uids: "OrderedDict[int, None]" = OrderedDict()
+
+    def _accept_msg(self, body: dict) -> bool:
+        uid = body.get("uid")
+        if uid is None:
+            return True
+        if uid in self._seen_uids:
+            return False  # duplicate delivery of a re-sent message
+        self._seen_uids[uid] = None
+        while len(self._seen_uids) > _UID_WINDOW:
+            self._seen_uids.popitem(last=False)
+        return True
 
     # ------------------------------------------------------------------
     # acquire
@@ -102,6 +315,9 @@ class NCoSEDClient(LockClient):
     def _acquire(self, lock_id: int, mode: LockMode):
         if lock_id in self._held:
             raise LockError(f"client {self.token} already holds {lock_id}")
+        if self.manager.ft:
+            yield from self._acquire_ft(lock_id, mode)
+            return None
         if mode is LockMode.SHARED:
             yield from self._acquire_shared(lock_id)
         else:
@@ -181,6 +397,9 @@ class NCoSEDClient(LockClient):
         mode = self._held.pop(lock_id, None)
         if mode is None:
             raise LockError(f"client {self.token} does not hold {lock_id}")
+        if self.manager.ft:
+            yield from self._release_ft(lock_id, mode)
+            return None
         self._released(lock_id)
         if mode is LockMode.SHARED:
             yield from self._release_shared(lock_id)
@@ -290,3 +509,309 @@ class NCoSEDClient(LockClient):
             tenure.xenq = body
         else:  # pragma: no cover - defensive
             raise LockError(f"unexpected message {kind!r} while holding")
+
+    # ==================================================================
+    # fault-tolerant mode (active when the manager has a lease)
+    # ==================================================================
+    def _acquire_ft(self, lock_id: int, mode: LockMode):
+        """Bounded-retry acquire: completes or raises LockError."""
+        mgr = self.manager
+        attempts = 0
+        while True:
+            attempts += 1
+            mgr._note_active(lock_id, self.token)
+            try:
+                if mode is LockMode.SHARED:
+                    ep = yield from self._acquire_shared_ft(lock_id)
+                else:
+                    ep = yield from self._acquire_exclusive_ft(lock_id)
+                break
+            except (_Stale, FaultError, RdmaError) as exc:
+                self._tenures.pop(lock_id, None)
+                if attempts >= mgr.max_attempts:
+                    raise LockError(
+                        f"acquire of lock {lock_id} by client {self.token} "
+                        f"failed after {attempts} attempts: {exc}") from exc
+            finally:
+                mgr._unnote_active(lock_id, self.token)
+            yield self.env.timeout(
+                mgr.attempt_backoff_us * min(attempts, 8))
+        # a fresh grant supersedes any stale revocation marker
+        mgr._revoked.pop((lock_id, self.token), None)
+        self._held[lock_id] = mode
+        self._grant_ep[lock_id] = ep
+        self._granted(lock_id, mode)
+
+    def _acquire_shared_ft(self, lock_id: int):
+        mgr = self.manager
+        home, addr, rkey = mgr.word(lock_id)
+        old = yield self.node.nic.faa(home, addr, rkey, 1)
+        ep, tail, _count = unpack_ft(old)
+        if mgr.lock_epoch(lock_id) != ep:
+            # the word was reclaimed around our increment: the +1 was
+            # (or will be) wiped with the old generation
+            raise _Stale(f"lock {lock_id} reclaimed around shared FAA")
+        if tail == 0:
+            return ep  # granted immediately
+        self._peer_send_ft(tail, {"t": "nc", "kind": "senq",
+                                  "lock": lock_id, "frm": self.token,
+                                  "ep": ep})
+        while True:
+            body = yield from self._wait_lease(lock_id, "nc", mgr.lease_us)
+            if body is None:
+                yield from self._check_epoch(lock_id, ep)
+                continue
+            if body.get("ep") != ep:
+                continue  # stale generation
+            if body["kind"] == "sgrant":
+                if mgr.lock_epoch(lock_id) != ep:
+                    raise _Stale("reclaimed at shared grant instant")
+                return ep
+            raise LockError(f"shared waiter got {body['kind']}")
+
+    def _acquire_exclusive_ft(self, lock_id: int):
+        mgr = self.manager
+        home, addr, rkey = mgr.word(lock_id)
+        nic = self.node.nic
+        tenure = _Tenure()
+        while True:
+            raw = yield nic.rdma_read(home, addr, rkey, 8)
+            ep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
+            if tail == self.token:
+                # residue of an aborted attempt; the reaper clears it
+                raise _Stale(f"own stale tail on lock {lock_id}")
+            word = pack_ft(ep, tail, count)
+            old = yield nic.cas(home, addr, rkey, word,
+                                pack_ft(ep, self.token, 0))
+            if old != word:
+                continue  # lost the race (or raced a reclaim): re-read
+            tenure.ep = ep
+            self._tenures[lock_id] = tenure
+            pred = tail if tail != 0 else None
+            if pred is not None:
+                self._peer_send_ft(pred, {"t": "nc", "kind": "xenq",
+                                          "lock": lock_id,
+                                          "frm": self.token,
+                                          "scount": count, "ep": ep})
+            if pred is None and count == 0:
+                if mgr.lock_epoch(lock_id) != ep:
+                    raise _Stale("reclaimed at exclusive grant instant")
+                return ep
+            yield from self._await_grant_ft(lock_id, tenure, pred,
+                                            count, ep)
+            return ep
+
+    def _await_grant_ft(self, lock_id: int, tenure: _Tenure,
+                        pred: Optional[int], srel_needed: int, ep: int):
+        mgr = self.manager
+        need_xgrant = pred is not None
+        srel_got = 0
+        while need_xgrant or srel_got < srel_needed:
+            body = yield from self._wait_lease(lock_id, "nc", mgr.lease_us)
+            if body is None:
+                yield from self._check_epoch(lock_id, ep)
+                continue
+            if body.get("ep") != ep:
+                continue
+            kind = body["kind"]
+            if kind == "xgrant":
+                need_xgrant = False
+            elif kind == "srel":
+                if need_xgrant:
+                    self._peer_send_ft(pred, dict(body))
+                else:
+                    srel_got += 1
+            elif kind == "senq":
+                if body["frm"] not in tenure.registered:
+                    tenure.registered.append(body["frm"])
+            elif kind == "xenq":
+                self._note_successor(tenure, body)
+            else:  # pragma: no cover - defensive
+                raise LockError(f"unexpected message {kind!r}")
+        if mgr.lock_epoch(lock_id) != ep:
+            raise _Stale("reclaimed at exclusive grant instant")
+
+    def _check_epoch(self, lock_id: int, ep: int):
+        """Lease expired while waiting: re-read the word, bail if moved."""
+        home, addr, rkey = self.manager.word(lock_id)
+        raw = yield self.node.nic.rdma_read(home, addr, rkey, 8)
+        if unpack_ft(int.from_bytes(raw, "big"))[0] != ep:
+            raise _Stale(f"lock {lock_id} reclaimed while waiting")
+
+    # -- release -------------------------------------------------------
+    def _release_ft(self, lock_id: int, mode: LockMode):
+        mgr = self.manager
+        ep = self._grant_ep.pop(lock_id)
+        if mgr._consume_revoked(lock_id, self.token, ep):
+            # lease revoked by a reclaim: the grant already ended in the
+            # ledger and the word was wiped — nothing to undo
+            self._tenures.pop(lock_id, None)
+            return
+        self._released(lock_id)
+        mgr._note_active(lock_id, self.token)
+        try:
+            if mode is LockMode.SHARED:
+                yield from self._release_shared_ft(lock_id, ep)
+            else:
+                yield from self._release_exclusive_ft(lock_id, ep)
+        except (FaultError, RdmaError):
+            # home unreachable or we crashed mid-release: the word (and
+            # possibly a waiter's hand-off) is in an unknown state —
+            # flag it so the reaper reclaims, else a live successor
+            # could wait forever on a grant that was never initiated
+            mgr._flag_suspect(lock_id, self.token)
+        finally:
+            mgr._unnote_active(lock_id, self.token)
+
+    def _release_shared_ft(self, lock_id: int, ep: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        nic = self.node.nic
+        while True:
+            raw = yield nic.rdma_read(home, addr, rkey, 8)
+            wep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
+            if wep != ep:
+                return  # revoked: our count contribution was wiped
+            if tail != 0:
+                self._peer_send_ft(tail, {"t": "nc", "kind": "srel",
+                                          "lock": lock_id,
+                                          "frm": self.token, "ep": ep})
+                return
+            if count == 0:  # pragma: no cover - accounting bug guard
+                raise LockError("shared release with zero count")
+            word = pack_ft(ep, 0, count)
+            old = yield nic.cas(home, addr, rkey, word,
+                                pack_ft(ep, 0, count - 1))
+            if old == word:
+                return
+
+    def _release_exclusive_ft(self, lock_id: int, ep: int):
+        home, addr, rkey = self.manager.word(lock_id)
+        nic = self.node.nic
+        tenure = self._tenures.pop(lock_id)
+        self._drain_pending_ft(lock_id, tenure, ep)
+        if tenure.xenq is None:
+            n_reg = len(tenure.registered)
+            guess = pack_ft(ep, self.token, n_reg)
+            old = yield nic.cas(home, addr, rkey, guess,
+                                pack_ft(ep, 0, n_reg))
+            if old == guess:
+                self._grant_shared_ft(lock_id, tenure.registered, ep)
+                return
+            while tenure.xenq is None:
+                raw = yield nic.rdma_read(home, addr, rkey, 8)
+                wep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
+                if wep != ep:
+                    return  # revoked mid-release: fresh epoch owns it
+                if tail != self.token:
+                    if not (yield from self._collect_until_ft(
+                            lock_id, tenure, "xenq", ep)):
+                        return
+                    break
+                while (len(tenure.registered) < count
+                       and tenure.xenq is None):
+                    if not (yield from self._collect_until_ft(
+                            lock_id, tenure, None, ep)):
+                        return
+                if tenure.xenq is not None:
+                    break
+                word = pack_ft(ep, tail, count)
+                old = yield nic.cas(home, addr, rkey, word,
+                                    pack_ft(ep, 0, count))
+                if old != word:
+                    continue
+                self._grant_shared_ft(lock_id, tenure.registered, ep)
+                return
+        succ = tenure.xenq["frm"]
+        s_mine = tenure.xenq["scount"]
+        while len(tenure.registered) < s_mine:
+            if not (yield from self._collect_until_ft(
+                    lock_id, tenure, "senq", ep)):
+                return
+        if len(tenure.registered) != s_mine:  # pragma: no cover - guard
+            raise LockError("registered shared waiters exceed snapshot")
+        self._grant_shared_ft(lock_id, tenure.registered, ep)
+        self._peer_send_ft(succ, {"t": "nc", "kind": "xgrant",
+                                  "lock": lock_id, "ep": ep})
+
+    # -- FT helpers ----------------------------------------------------
+    def _grant_shared_ft(self, lock_id: int, waiters, ep: int) -> None:
+        for waiter in waiters:
+            self._peer_send_ft(waiter, {"t": "nc", "kind": "sgrant",
+                                        "lock": lock_id, "ep": ep})
+
+    def _drain_pending_ft(self, lock_id: int, tenure: _Tenure,
+                          ep: int) -> None:
+        q = self._queue(lock_id, "nc")
+        while True:
+            ok, body = q.try_get()
+            if not ok:
+                return
+            if body.get("ep") != ep:
+                continue
+            self._classify_ft(tenure, body)
+
+    def _collect_until_ft(self, lock_id: int, tenure: _Tenure,
+                          kind: Optional[str], ep: int):
+        """Consume messages until ``kind`` (any if None) arrives.
+
+        Returns False when the lock was reclaimed from under us — the
+        caller must abandon the release.
+        """
+        mgr = self.manager
+        home, addr, rkey = mgr.word(lock_id)
+        while True:
+            body = yield from self._wait_lease(lock_id, "nc", mgr.lease_us)
+            if body is None:
+                raw = yield self.node.nic.rdma_read(home, addr, rkey, 8)
+                if unpack_ft(int.from_bytes(raw, "big"))[0] != ep:
+                    return False
+                continue
+            if body.get("ep") != ep:
+                continue
+            self._classify_ft(tenure, body)
+            if kind is None or body["kind"] == kind:
+                return True
+
+    def _classify_ft(self, tenure: _Tenure, body: dict) -> None:
+        kind = body["kind"]
+        if kind == "senq":
+            if body["frm"] not in tenure.registered:
+                tenure.registered.append(body["frm"])
+        elif kind == "xenq":
+            self._note_successor(tenure, body)
+        else:  # pragma: no cover - defensive
+            raise LockError(f"unexpected message {kind!r} while holding")
+
+    @staticmethod
+    def _note_successor(tenure: _Tenure, body: dict) -> None:
+        if tenure.xenq is not None:
+            if tenure.xenq["frm"] != body["frm"]:  # pragma: no cover
+                raise LockError("two exclusive successors announced")
+            return  # re-delivered announcement
+        tenure.xenq = body
+
+    def _peer_send_ft(self, token: int, body: dict) -> None:
+        """At-least-once peer send (bounded re-send, receiver dedup)."""
+        peer = self.manager.clients.get(token)
+        if peer is None:
+            raise LockError(f"unknown peer token {token}")
+        msg = dict(body)
+        msg["uid"] = self.env.next_id("dlm")
+        self.env.process(self._send_reliable(peer, msg),
+                         name=f"ncosed-send@{self.node.name}")
+
+    def _send_reliable(self, peer: "NCoSEDClient", body: dict):
+        mgr = self.manager
+        for _ in range(mgr.send_attempts):
+            try:
+                yield self.node.nic.send_wait(peer.node.id, payload=body,
+                                              size=32, tag=peer._tag)
+                return
+            except FaultError:
+                yield self.env.timeout(mgr.resend_us)
+        # Undeliverable protocol message: if its epoch is still current,
+        # some peer is (or may be) waiting on it — flag the lock so the
+        # reaper reclaims and waiters restart under a fresh epoch.
+        lock_id = body.get("lock")
+        if lock_id is not None and body.get("ep") == mgr.lock_epoch(lock_id):
+            mgr._flag_suspect(lock_id, self.token)

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
+import builtins
+import warnings
+
 __all__ = [
     "ReproError",
     "RdmaError",
     "ProtectionError",
     "BoundsError",
     "TransportError",
+    "PeerResetError",
     "ConnectionResetError_",
+    "TimeoutError",
+    "FaultError",
+    "NodeDownError",
     "DDSSError",
     "AllocationError",
     "CoherenceError",
@@ -39,8 +46,24 @@ class TransportError(ReproError):
     """Socket/SDP transport failure."""
 
 
-class ConnectionResetError_(TransportError):
+class PeerResetError(TransportError):
     """Peer endpoint was closed while data was in flight."""
+
+
+class TimeoutError(ReproError, builtins.TimeoutError):
+    """An operation exceeded its deadline (retry budget exhausted).
+
+    Also subclasses the builtin ``TimeoutError`` so generic handlers
+    written against the standard library catch it.
+    """
+
+
+class FaultError(ReproError):
+    """An injected fault surfaced to the application."""
+
+
+class NodeDownError(FaultError):
+    """Communication with a crashed (or unreachable) node."""
 
 
 class DDSSError(ReproError):
@@ -69,3 +92,14 @@ class MonitorError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration of a simulated component."""
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for one release; the trailing-underscore name
+    # was easy to mistype and awkwardly shadow-avoided the builtin.
+    if name == "ConnectionResetError_":
+        warnings.warn(
+            "ConnectionResetError_ is deprecated; use PeerResetError",
+            DeprecationWarning, stacklevel=2)
+        return PeerResetError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,158 @@
+"""Execute a :class:`FaultPlan` against a live cluster.
+
+The injector owns the failure ground truth (``down`` set) and is the
+single place the :mod:`repro.net` layer consults:
+
+* :meth:`transfer_fault` — called by :meth:`Fabric.transfer` before any
+  timing; returns an event that fails with :class:`NodeDownError` after
+  ``detect_us`` when either end is crashed (modelling an RC
+  retry-exceeded completion), else ``None``.
+* :meth:`link_factor` — multiplier applied to serialization and wire
+  latency of matching transfers (congested/flapping link windows).
+* :meth:`message_fate` — per delivered two-sided message: ``0`` drop,
+  ``1`` deliver, ``2`` deliver twice.
+* :meth:`verb_fault` — raises :class:`RdmaError` for one-sided verbs
+  that fall into a failure window.
+
+Crash/restart listeners let services react to membership ground truth;
+the :class:`repro.monitor.heartbeat.HeartbeatDetector` instead
+*discovers* failures through probing, like a real deployment would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, TYPE_CHECKING
+
+from repro.errors import ConfigError, NodeDownError, RdmaError
+from repro.sim import Event
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Cluster
+
+__all__ = ["FaultInjector"]
+
+#: delay before a transfer involving a crashed node fails (µs) — models
+#: the initiator NIC exhausting its RC retry budget.
+DETECT_US = 20.0
+
+
+class FaultInjector:
+    """Installs fault hooks on a cluster's fabric and runs the plan."""
+
+    def __init__(self, cluster: "Cluster", plan: Optional[FaultPlan] = None,
+                 detect_us: float = DETECT_US, rng_stream: str = "faults"):
+        if detect_us < 0:
+            raise ConfigError("detect_us must be non-negative")
+        self.env = cluster.env
+        self.fabric = cluster.fabric
+        if self.fabric.injector is not None:
+            raise ConfigError("cluster already has a fault injector")
+        self.plan = plan or FaultPlan()
+        self.detect_us = detect_us
+        self.rng = cluster.rng.get(rng_stream)
+        self.down: Set[int] = set()
+        #: (time, "crash"|"restart", node_id) — the injected ground truth
+        self.log: List[tuple] = []
+        self._listeners: List[Callable[[int, str], None]] = []
+        # fault counters, exposed for tests/diagnostics
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.verbs_failed = 0
+        self.transfers_refused = 0
+        self.fabric.injector = self
+        for crash in self.plan.crashes:
+            self.env.process(self._crash_proc(crash),
+                             name=f"fault-crash@{crash.node}")
+
+    # ------------------------------------------------------------------
+    # ground truth + control
+    # ------------------------------------------------------------------
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self.down
+
+    def subscribe(self, fn: Callable[[int, str], None]) -> None:
+        """Register ``fn(node_id, event)`` for "crash"/"restart" events."""
+        self._listeners.append(fn)
+
+    def crash(self, node_id: int) -> None:
+        """Fail-stop ``node_id`` now (also usable outside a plan)."""
+        if node_id in self.down:
+            return
+        self.down.add(node_id)
+        self.log.append((self.env.now, "crash", node_id))
+        for fn in self._listeners:
+            fn(node_id, "crash")
+
+    def restart(self, node_id: int) -> None:
+        """Bring ``node_id`` back (memory intact, see :class:`Crash`)."""
+        if node_id not in self.down:
+            return
+        self.down.discard(node_id)
+        self.log.append((self.env.now, "restart", node_id))
+        for fn in self._listeners:
+            fn(node_id, "restart")
+
+    def _crash_proc(self, crash):
+        if crash.at > self.env.now:
+            yield self.env.timeout(crash.at - self.env.now)
+        self.crash(crash.node)
+        if crash.restart_at is not None:
+            yield self.env.timeout(crash.restart_at - self.env.now)
+            self.restart(crash.node)
+
+    # ------------------------------------------------------------------
+    # hooks consulted by the net layer
+    # ------------------------------------------------------------------
+    def transfer_fault(self, src_id: int,
+                       dst_id: Optional[int]) -> Optional[Event]:
+        """A failing event if either end is down, else None."""
+        if src_id in self.down or (dst_id is not None
+                                   and dst_id in self.down):
+            self.transfers_refused += 1
+            culprit = src_id if src_id in self.down else dst_id
+            exc = NodeDownError(
+                f"node {culprit} is down (transfer {src_id}->{dst_id})")
+            ev = self.env.event()
+            self.env.timeout(self.detect_us).add_callback(
+                lambda _t: ev.fail(exc))
+            return ev
+        return None
+
+    def link_factor(self, src_id: int, dst_id: Optional[int]) -> float:
+        factor = 1.0
+        now = self.env.now
+        for rule in self.plan.degrades:
+            if rule.matches(now, src_id, dst_id):
+                factor *= rule.factor
+        return factor
+
+    def message_fate(self, src_id: int, dst_id: int) -> int:
+        """0 = drop, 1 = deliver once, 2 = deliver twice (duplicate)."""
+        if src_id in self.down or dst_id in self.down:
+            self.messages_dropped += 1
+            return 0
+        now = self.env.now
+        fate = 1
+        for rule in self.plan.message_faults:
+            if not rule.matches(now, src_id, dst_id):
+                continue
+            if float(self.rng.random()) < rule.rate:
+                if rule.kind == "drop":
+                    self.messages_dropped += 1
+                    return 0
+                fate = 2
+        if fate == 2:
+            self.messages_duplicated += 1
+        return fate
+
+    def verb_fault(self, src_id: int, dst_id: int) -> None:
+        """Raise RdmaError if a verb-failure window applies."""
+        now = self.env.now
+        for rule in self.plan.verb_faults:
+            if (rule.matches(now, src_id, dst_id)
+                    and float(self.rng.random()) < rule.rate):
+                self.verbs_failed += 1
+                raise RdmaError(
+                    f"injected verb fault on {src_id}->{dst_id}")

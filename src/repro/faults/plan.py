@@ -1,0 +1,155 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is pure data: what goes wrong, where, and when.
+Executing it is the :class:`repro.faults.injector.FaultInjector`'s job,
+so plans can be built once and replayed against many seeds/clusters.
+All times are simulation microseconds; ``src``/``dst``/``node`` of
+``None`` means "any node".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultPlan", "Crash", "MessageFault", "VerbFault", "LinkDegrade"]
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fail-stop crash of one node, optionally followed by a restart.
+
+    Registered memory survives the crash (battery-backed NVRAM model);
+    what a crash removes is the node's ability to communicate: every
+    transfer to or from it fails until ``restart_at``.
+    """
+
+    node: int
+    at: float
+    restart_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop or duplicate two-sided messages within a time window."""
+
+    kind: str                 # "drop" | "duplicate"
+    rate: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    start: float = 0.0
+    until: float = math.inf
+
+    def matches(self, now: float, src: int, dst: int) -> bool:
+        return (self.start <= now < self.until
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+
+@dataclass(frozen=True)
+class VerbFault:
+    """Fail one-sided verbs (read/write/CAS/FAA) within a time window."""
+
+    rate: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    start: float = 0.0
+    until: float = math.inf
+
+    def matches(self, now: float, src: int, dst: int) -> bool:
+        return (self.start <= now < self.until
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Multiply serialization + wire latency on matching transfers."""
+
+    factor: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    start: float = 0.0
+    until: float = math.inf
+
+    def matches(self, now: float, src: int, dst: Optional[int]) -> bool:
+        return (self.start <= now < self.until
+                and (self.src is None or self.src == src)
+                and (self.dst is None or dst is None or self.dst == dst))
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"fault rate must be in [0, 1], got {rate}")
+    return float(rate)
+
+
+def _check_window(start: float, until: float) -> None:
+    if start < 0 or until <= start:
+        raise ConfigError(f"bad fault window [{start}, {until})")
+
+
+class FaultPlan:
+    """Builder for a fault schedule (methods chain)."""
+
+    def __init__(self):
+        self.crashes: List[Crash] = []
+        self.message_faults: List[MessageFault] = []
+        self.verb_faults: List[VerbFault] = []
+        self.degrades: List[LinkDegrade] = []
+
+    # -- builders -------------------------------------------------------
+    def crash(self, node: int, at: float,
+              restart_at: Optional[float] = None) -> "FaultPlan":
+        if at < 0:
+            raise ConfigError("crash time must be non-negative")
+        if restart_at is not None and restart_at <= at:
+            raise ConfigError("restart must come after the crash")
+        self.crashes.append(Crash(node=node, at=at, restart_at=restart_at))
+        return self
+
+    def drop_messages(self, rate: float, src: Optional[int] = None,
+                      dst: Optional[int] = None, start: float = 0.0,
+                      until: float = math.inf) -> "FaultPlan":
+        _check_window(start, until)
+        self.message_faults.append(MessageFault(
+            kind="drop", rate=_check_rate(rate), src=src, dst=dst,
+            start=start, until=until))
+        return self
+
+    def duplicate_messages(self, rate: float, src: Optional[int] = None,
+                           dst: Optional[int] = None, start: float = 0.0,
+                           until: float = math.inf) -> "FaultPlan":
+        _check_window(start, until)
+        self.message_faults.append(MessageFault(
+            kind="duplicate", rate=_check_rate(rate), src=src, dst=dst,
+            start=start, until=until))
+        return self
+
+    def fail_verbs(self, rate: float, src: Optional[int] = None,
+                   dst: Optional[int] = None, start: float = 0.0,
+                   until: float = math.inf) -> "FaultPlan":
+        _check_window(start, until)
+        self.verb_faults.append(VerbFault(
+            rate=_check_rate(rate), src=src, dst=dst,
+            start=start, until=until))
+        return self
+
+    def degrade_link(self, factor: float, src: Optional[int] = None,
+                     dst: Optional[int] = None, start: float = 0.0,
+                     until: float = math.inf) -> "FaultPlan":
+        if factor < 1.0:
+            raise ConfigError("degrade factor must be >= 1.0")
+        _check_window(start, until)
+        self.degrades.append(LinkDegrade(
+            factor=float(factor), src=src, dst=dst,
+            start=start, until=until))
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.message_faults
+                    or self.verb_faults or self.degrades)

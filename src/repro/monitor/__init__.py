@@ -22,6 +22,7 @@ observe it through one of five schemes:
 dispatcher for the Fig. 8b throughput experiment.
 """
 
+from repro.monitor.heartbeat import HeartbeatDetector
 from repro.monitor.kernel import KernelStats
 from repro.monitor.loadbalancer import MonitoredLoadBalancer
 from repro.monitor.schemes import (
@@ -36,6 +37,7 @@ from repro.monitor.schemes import (
 
 __all__ = [
     "ERdmaSyncMonitor",
+    "HeartbeatDetector",
     "KernelStats",
     "MonitorBase",
     "MONITOR_SCHEMES",

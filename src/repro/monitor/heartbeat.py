@@ -1,0 +1,112 @@
+"""Heartbeat failure detection over one-sided RDMA reads.
+
+A front-end node probes a tiny *liveness word* registered on every
+watched node.  The probe is a plain RDMA read: it costs the watched
+node zero CPU (same argument as the RDMA monitoring schemes) and it is
+exactly the operation that a crashed node can no longer answer — a
+probe against a down node fails with
+:class:`repro.errors.NodeDownError` once the NIC exhausts its retries.
+
+``miss_threshold`` consecutive failed/overdue probes declare the node
+**dead**; one successful probe declares it **alive** again.  Listeners
+(e.g. :class:`repro.reconfig.ReconfigManager`) get ``(node_id,
+"dead"|"alive")`` transitions; :class:`repro.dlm.NCoSEDManager` accepts
+the detector as its failure oracle via ``is_dead``.
+
+Unlike :class:`repro.faults.FaultInjector` ground truth, this detector
+*discovers* failures by probing, so detection lags a crash by up to
+``period_us * miss_threshold`` — the window every recovery protocol
+above it has to tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set
+
+from repro.errors import ConfigError, FaultError, RdmaError
+from repro.net.node import Node
+from repro.sim import AnyOf
+
+__all__ = ["HeartbeatDetector"]
+
+
+class HeartbeatDetector:
+    """Probe ``targets`` from ``front`` every ``period_us``."""
+
+    def __init__(self, front: Node, targets: Sequence[Node], *,
+                 period_us: float = 1_000.0,
+                 timeout_us: float = 200.0,
+                 miss_threshold: int = 3):
+        if period_us <= 0 or timeout_us <= 0:
+            raise ConfigError("heartbeat periods must be positive")
+        if miss_threshold < 1:
+            raise ConfigError("miss_threshold must be >= 1")
+        self.front = front
+        self.env = front.env
+        self.period_us = period_us
+        self.timeout_us = timeout_us
+        self.miss_threshold = miss_threshold
+        self.targets = list(targets)
+        self._keys = {}
+        self._misses: Dict[int, int] = {}
+        self._dead: Set[int] = set()
+        self._listeners: List[Callable[[int, str], None]] = []
+        #: (time, node_id, "dead"|"alive") transition log
+        self.transitions: List[tuple] = []
+        self.probes = 0
+        for node in self.targets:
+            if node.id == front.id:
+                raise ConfigError("front-end cannot watch itself")
+            region = node.memory.register(8, name=f"hb-word@{node.name}")
+            self._keys[node.id] = region.remote_key()
+            self._misses[node.id] = 0
+            self.env.process(self._probe_loop(node),
+                             name=f"heartbeat@{node.name}")
+
+    # -- oracle interface ----------------------------------------------
+    def is_dead(self, node_id: int) -> bool:
+        return node_id in self._dead
+
+    @property
+    def dead_ids(self) -> Set[int]:
+        return set(self._dead)
+
+    def subscribe(self, fn: Callable[[int, str], None]) -> None:
+        """Register ``fn(node_id, transition)`` for "dead"/"alive"."""
+        self._listeners.append(fn)
+
+    # -- probing -------------------------------------------------------
+    def _probe_loop(self, node: Node):
+        key = self._keys[node.id]
+        while True:
+            yield self.env.timeout(self.period_us)
+            self.probes += 1
+            probe = self.front.nic.read_key(key, length=8)
+            try:
+                yield AnyOf(self.env, [probe,
+                                       self.env.timeout(self.timeout_us)])
+            except (FaultError, RdmaError):
+                self._miss(node.id)
+                continue
+            if probe.triggered:
+                self._hit(node.id)
+            else:
+                self._miss(node.id)  # overdue: counts as a miss
+
+    def _miss(self, node_id: int) -> None:
+        self._misses[node_id] += 1
+        if (self._misses[node_id] >= self.miss_threshold
+                and node_id not in self._dead):
+            self._dead.add(node_id)
+            self._notify(node_id, "dead")
+
+    def _hit(self, node_id: int) -> None:
+        self._misses[node_id] = 0
+        if node_id in self._dead:
+            self._dead.discard(node_id)
+            self._notify(node_id, "alive")
+
+    def _notify(self, node_id: int, transition: str) -> None:
+        self.transitions.append((self.env.now, node_id, transition))
+        for fn in self._listeners:
+            fn(node_id, transition)

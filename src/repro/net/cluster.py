@@ -62,3 +62,12 @@ class Cluster:
 
     def run_until(self, event, limit: float = 1e12):
         return self.env.run_until_event(event, limit=limit)
+
+    def install_faults(self, plan=None, **kwargs):
+        """Install a :class:`repro.faults.FaultInjector` running ``plan``.
+
+        Returns the injector; keyword arguments are forwarded (e.g.
+        ``detect_us``).  At most one injector per cluster.
+        """
+        from repro.faults import FaultInjector
+        return FaultInjector(self, plan, **kwargs)

@@ -12,7 +12,7 @@ and flow-control experiments).
 
 from __future__ import annotations
 
-from typing import Dict, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.sim import Environment, Event, Resource
@@ -20,6 +20,7 @@ from repro.sim import Environment, Event, Resource
 from repro.net.params import NetworkParams
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
     from repro.net.node import Node
 
 __all__ = ["Fabric"]
@@ -35,6 +36,9 @@ class Fabric:
         self._egress: Dict[int, Resource] = {}
         self.bytes_moved = 0
         self.transfers = 0
+        #: installed by :class:`repro.faults.FaultInjector`; None in
+        #: fault-free runs, in which case every hook below is skipped.
+        self.injector: Optional["FaultInjector"] = None
 
     # -- topology ---------------------------------------------------------
     def attach(self, node: "Node") -> None:
@@ -64,25 +68,32 @@ class Fabric:
                               f"{src_id}->{dst_id}")
         if nbytes < 0:
             raise ConfigError("cannot transfer negative bytes")
+        if self.injector is not None:
+            fail = self.injector.transfer_fault(src_id, dst_id)
+            if fail is not None:
+                return fail  # refused transfers move no bytes
         self.transfers += 1
         self.bytes_moved += nbytes
         if src_id == dst_id:
             return self.env.timeout(self.params.local_op_us)
         return self.env.process(
-            self._transfer_proc(src_id, nbytes),
+            self._transfer_proc(src_id, dst_id, nbytes),
             name=f"xfer-{src_id}->{dst_id}",
         )
 
-    def _transfer_proc(self, src_id: int, nbytes: int):
+    def _transfer_proc(self, src_id: int, dst_id: Optional[int],
+                       nbytes: int):
         p = self.params
+        factor = (self.injector.link_factor(src_id, dst_id)
+                  if self.injector is not None else 1.0)
         yield self.env.timeout(p.nic_tx_us)
         link = self._egress[src_id]
         yield link.acquire()
         try:
-            yield self.env.timeout(p.serialization_us(nbytes))
+            yield self.env.timeout(p.serialization_us(nbytes) * factor)
         finally:
             link.release()
-        yield self.env.timeout(p.wire_latency_us + p.nic_rx_us)
+        yield self.env.timeout(p.wire_latency_us * factor + p.nic_rx_us)
 
     def multicast(self, src_id: int, dst_ids, nbytes: int) -> Event:
         """Hardware-style multicast: one injection, switch replication.
@@ -106,9 +117,13 @@ class Fabric:
                 raise ConfigError(f"unknown multicast destination {dst}")
         if nbytes < 0:
             raise ConfigError("cannot transfer negative bytes")
+        if self.injector is not None:
+            fail = self.injector.transfer_fault(src_id, None)
+            if fail is not None:
+                return fail
         self.transfers += 1
         self.bytes_moved += nbytes  # injected once, replicated in-switch
-        return self.env.process(self._transfer_proc(src_id, nbytes),
+        return self.env.process(self._transfer_proc(src_id, None, nbytes),
                                 name=f"mcast-{src_id}")
 
     def egress_queue_len(self, node_id: int) -> int:

@@ -20,11 +20,10 @@ reflects the full page while only the meaningful bytes are stored.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
-from repro.errors import ConfigError, RdmaError
+from repro.errors import ConfigError, FaultError, RdmaError
 from repro.sim import Environment, Event, Store
 
 from repro.net.memory import RemoteKey
@@ -35,12 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Message", "NIC"]
 
-_msg_ids = itertools.count(1)
-
 
 @dataclass
 class Message:
-    """A delivered two-sided message."""
+    """A delivered two-sided message.
+
+    ``mid`` is unique per :class:`~repro.sim.Environment` (drawn from the
+    environment's own id stream, so two simulations in one process never
+    share a counter).  A duplicated delivery reuses the same ``mid``,
+    which is what receiver-side dedup keys on.
+    """
 
     src: int
     dst: int
@@ -49,7 +52,7 @@ class Message:
     size: int
     sent_at: float
     arrived_at: float = 0.0
-    mid: int = field(default_factory=lambda: next(_msg_ids))
+    mid: int = 0
 
 
 class NIC:
@@ -88,14 +91,21 @@ class NIC:
             raise ConfigError("negative message size")
         self.sends += 1
         msg = Message(src=self.node.id, dst=dst_id, tag=tag,
-                      payload=payload, size=size, sent_at=self.env.now)
+                      payload=payload, size=size, sent_at=self.env.now,
+                      mid=self.env.next_id("msg"))
         wire = self.fabric.transfer(
             self.node.id, dst_id, size + self.params.header_bytes)
         dst_nic = self.fabric.node(dst_id).nic
 
         def deliver(_ev):
+            if not _ev.ok:
+                return  # wire failure: message lost
+            copies = self._delivery_copies(msg)
+            if copies == 0:
+                return
             msg.arrived_at = self.env.now
-            dst_nic._queue(tag).try_put(msg)
+            for _ in range(copies):
+                dst_nic._queue(tag).try_put(msg)
 
         wire.add_callback(deliver)
         # Local send completion: posting cost only (fire-and-forget).
@@ -108,15 +118,26 @@ class NIC:
             raise ConfigError("negative message size")
         self.sends += 1
         msg = Message(src=self.node.id, dst=dst_id, tag=tag,
-                      payload=payload, size=size, sent_at=self.env.now)
+                      payload=payload, size=size, sent_at=self.env.now,
+                      mid=self.env.next_id("msg"))
         done = self.env.event()
         wire = self.fabric.transfer(
             self.node.id, dst_id, size + self.params.header_bytes)
         dst_nic = self.fabric.node(dst_id).nic
 
         def deliver(_ev):
+            if not _ev.ok:
+                done.fail(_ev._value)
+                return
+            copies = self._delivery_copies(msg)
+            if copies == 0:
+                # acked delivery: a dropped message surfaces to the sender
+                done.fail(FaultError(
+                    f"message {msg.mid} to node {dst_id} dropped"))
+                return
             msg.arrived_at = self.env.now
-            dst_nic._queue(tag).try_put(msg)
+            for _ in range(copies):
+                dst_nic._queue(tag).try_put(msg)
             done.succeed(msg)
 
         wire.add_callback(deliver)
@@ -140,15 +161,28 @@ class NIC:
         done = self.env.event()
 
         def deliver(_ev):
+            if not _ev.ok:
+                done.fail(_ev._value)
+                return
             for dst in dst_ids:
                 msg = Message(src=self.node.id, dst=dst, tag=tag,
                               payload=payload, size=size,
-                              sent_at=sent_at, arrived_at=self.env.now)
-                self.fabric.node(dst).nic._queue(tag).try_put(msg)
+                              sent_at=sent_at, arrived_at=self.env.now,
+                              mid=self.env.next_id("msg"))
+                copies = self._delivery_copies(msg)
+                for _ in range(copies):
+                    self.fabric.node(dst).nic._queue(tag).try_put(msg)
             done.succeed()
 
         wire.add_callback(deliver)
         return done
+
+    def _delivery_copies(self, msg: Message) -> int:
+        """Fault hook: how many copies of ``msg`` land at the receiver."""
+        injector = self.fabric.injector
+        if injector is None:
+            return 1
+        return injector.message_fate(msg.src, msg.dst)
 
     def recv(self, tag: Any = 0) -> Event:
         """Wait for the next message with ``tag``; value is a Message."""
@@ -182,6 +216,7 @@ class NIC:
 
     def _read_proc(self, dst_id, addr, rkey, length, wire):
         p = self.params
+        self._check_verb_fault(dst_id)
         yield self.env.timeout(p.post_us)
         # request descriptor to target
         yield self.fabric.transfer(self.node.id, dst_id, p.header_bytes)
@@ -206,6 +241,7 @@ class NIC:
 
     def _write_proc(self, dst_id, addr, rkey, data, wire):
         p = self.params
+        self._check_verb_fault(dst_id)
         yield self.env.timeout(p.post_us)
         yield self.fabric.transfer(self.node.id, dst_id,
                                    wire + p.header_bytes)
@@ -233,6 +269,7 @@ class NIC:
 
     def _atomic_proc(self, dst_id, addr, rkey, op, a, b):
         p = self.params
+        self._check_verb_fault(dst_id)
         yield self.env.timeout(p.post_us)
         yield self.fabric.transfer(self.node.id, dst_id, p.header_bytes)
         yield self.env.timeout(p.atomic_exec_us)
@@ -271,3 +308,9 @@ class NIC:
         if not self.params.has_rdma:
             raise RdmaError(
                 f"interconnect {self.params.name!r} has no RDMA support")
+
+    def _check_verb_fault(self, dst_id: int) -> None:
+        """Fault hook: raises RdmaError inside an injected failure window."""
+        injector = self.fabric.injector
+        if injector is not None:
+            injector.verb_fault(self.node.id, dst_id)

@@ -40,6 +40,7 @@ class Service:
         self.nodes: List[Node] = list(nodes)
         self.submitted = 0
         self.completed = 0
+        self.dropped = 0  # requests arriving while the service has no node
         self.latency_sum = 0.0
         self._rr = itertools.count()
 
@@ -51,6 +52,11 @@ class Service:
 
     # -- load interface ---------------------------------------------------
     def submit(self, work_us: float = DEFAULT_REQ_US) -> None:
+        if not self.nodes:
+            # every node evicted (e.g. crashed): shed the request rather
+            # than crash the dispatcher
+            self.dropped += 1
+            return
         node = self.nodes[next(self._rr) % len(self.nodes)]
         self.submitted += 1
         self.env.process(self._run_one(node, work_us),
@@ -72,10 +78,21 @@ class Service:
 
 
 class ReconfigManager:
-    """Watches services, migrates nodes, serialized via a CAS lock."""
+    """Watches services, migrates nodes, serialized via a CAS lock.
+
+    With a ``detector`` (:class:`repro.monitor.HeartbeatDetector`) the
+    manager is **failure-aware**: the instant the detector declares a
+    node dead it is evicted from every service hosting it (a crashed
+    node serves nothing, so eviction ignores ``min_nodes``), and a
+    service pushed below its ``min_nodes`` is backfilled from the
+    lowest-priority donor that can spare a live node.  When the node
+    comes back the detector reports it alive and the manager restores
+    it to the services it was evicted from.
+    """
 
     def __init__(self, coordinator: Node, services: Sequence[Service],
                  monitor: Optional[MonitorBase] = None,
+                 detector=None,
                  check_every_us: float = 2_000.0,
                  sensitivity: float = 2.0,
                  cooldown_us: float = 20_000.0):
@@ -85,6 +102,7 @@ class ReconfigManager:
         self.env = coordinator.env
         self.services = list(services)
         self.monitor = monitor
+        self.detector = detector
         self.check_every_us = check_every_us
         self.sensitivity = sensitivity
         self.cooldown_us = cooldown_us
@@ -93,7 +111,61 @@ class ReconfigManager:
         #: node id -> last migration time (history-aware reconfiguration)
         self._last_moved: Dict[int, float] = {}
         self.migrations: List[tuple] = []
+        #: (time, node_id, service, "evict"|"restore"|"backfill")
+        self.evictions: List[tuple] = []
+        #: node id -> services it was evicted from (for restore)
+        self._evicted: Dict[int, List[Service]] = {}
         self._running = False
+        if detector is not None:
+            detector.subscribe(self._on_transition)
+
+    # -- failure awareness -------------------------------------------------
+    def _on_transition(self, node_id: int, transition: str) -> None:
+        if transition == "dead":
+            self._evict(node_id)
+        else:
+            self._restore(node_id)
+
+    def _evict(self, node_id: int) -> None:
+        for svc in self.services:
+            victim = next((n for n in svc.nodes if n.id == node_id), None)
+            if victim is None:
+                continue
+            svc.remove_node(victim)
+            self._evicted.setdefault(node_id, []).append(svc)
+            self.evictions.append((self.env.now, node_id, svc.name,
+                                   "evict"))
+            self._backfill(svc)
+
+    def _backfill(self, svc: Service) -> None:
+        """Refill a service below min_nodes from the cheapest donor."""
+        while len(svc.nodes) < svc.min_nodes:
+            donors = [s for s in self.services
+                      if s is not svc and len(s.nodes) > s.min_nodes]
+            candidates = [(s, n) for s in donors for n in s.nodes
+                          if not self._node_dead(n.id)]
+            if not candidates:
+                return  # nothing can be spared; run degraded
+            donor, node = min(
+                candidates,
+                key=lambda pair: (pair[0].priority, len(pair[0].nodes)))
+            donor.remove_node(node)
+            svc.add_node(node)
+            self._last_moved[node.id] = self.env.now
+            self.evictions.append((self.env.now, node.id, svc.name,
+                                   "backfill"))
+
+    def _restore(self, node_id: int) -> None:
+        for svc in self._evicted.pop(node_id, []):
+            node = self.node.fabric.node(node_id)
+            if node in svc.nodes:  # pragma: no cover - defensive
+                continue
+            svc.add_node(node)
+            self.evictions.append((self.env.now, node_id, svc.name,
+                                   "restore"))
+
+    def _node_dead(self, node_id: int) -> bool:
+        return self.detector is not None and self.detector.is_dead(node_id)
 
     def start(self) -> None:
         if self._running:

@@ -278,12 +278,25 @@ class Environment:
         self._now = float(initial_time)
         self._heap: list = []
         self._seq = 0
+        self._id_streams: dict = {}
 
     # -- clock ----------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulation time in microseconds."""
         return self._now
+
+    # -- identifiers ----------------------------------------------------
+    def next_id(self, stream: str = "default") -> int:
+        """Monotonically increasing id from a named per-environment stream.
+
+        Scoped to this Environment so that two simulations in one process
+        never share counters (message ids, request ids) — a requirement
+        for reproducibility.
+        """
+        n = self._id_streams.get(stream, 0) + 1
+        self._id_streams[stream] = n
+        return n
 
     # -- factories ------------------------------------------------------
     def event(self) -> Event:

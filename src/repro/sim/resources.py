@@ -77,6 +77,19 @@ class Store:
             self._getters.append(event)
         return event
 
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending ``get`` so it cannot steal a future item.
+
+        Returns True if the event was still waiting.  Needed by callers
+        that race a ``get`` against a timeout: an abandoned getter would
+        otherwise silently consume the next put.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
     def try_get(self) -> tuple:
         """Non-blocking get; returns ``(ok, item)``."""
         if self._items:

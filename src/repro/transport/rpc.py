@@ -19,14 +19,31 @@ Example::
     def app(env):
         chan = yield client.open(server_node.id, port=99)
         reply = yield chan.call({"ping": 1}, size=16)
+
+Reliability
+-----------
+
+``call`` optionally takes a per-call deadline and a retry budget::
+
+    reply = yield chan.call(req, size=16, timeout_us=500.0, retries=3)
+
+Reliable calls wrap the payload in a request-id envelope.  Retries reuse
+the id, and the server keeps a bounded cache of recent responses keyed
+by it, so a re-sent request whose *reply* was lost is answered from the
+cache instead of re-executing the handler (**at-most-once** execution).
+When the whole budget is exhausted the call fails with
+:class:`repro.errors.TimeoutError`.  Plain calls (no deadline) keep the
+original un-enveloped wire format.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
 
-from repro.errors import TransportError
-from repro.sim import Event
+from repro.errors import ConfigError, TimeoutError, TransportError
+from repro.sim import AnyOf, Event
 
 from repro.transport.base import Connection, Endpoint
 
@@ -35,18 +52,42 @@ __all__ = ["RpcServer", "RpcClient", "RpcChannel"]
 Handler = Callable[[Any], Tuple[Any, int, float]]
 
 
+@dataclass(frozen=True)
+class _RpcRequest:
+    """Envelope of a reliable call; ``rid`` is unique per Environment."""
+
+    rid: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _RpcReply:
+    rid: int
+    payload: Any
+
+
 class RpcServer:
-    """Accept-loop server executing a handler per request."""
+    """Accept-loop server executing a handler per request.
+
+    ``dedup_window`` bounds the response cache backing at-most-once
+    execution of reliable calls; it must comfortably exceed the number
+    of in-flight reliable calls against this server.
+    """
 
     def __init__(self, endpoint: Endpoint, port: int, handler: Handler,
-                 name: str = "rpc"):
+                 name: str = "rpc", dedup_window: int = 256):
+        if dedup_window < 1:
+            raise ConfigError("dedup_window must be positive")
         self.endpoint = endpoint
         self.env = endpoint.env
         self.node = endpoint.node
         self.port = port
         self.handler = handler
         self.name = name
+        self.dedup_window = dedup_window
         self.requests_served = 0
+        self.dup_requests = 0
+        self._seen: "OrderedDict[int, Tuple[Any, int]]" = OrderedDict()
         self._started = False
 
     def start(self) -> None:
@@ -66,11 +107,35 @@ class RpcServer:
     def _serve(self, conn: Connection):
         while True:
             datagram = yield conn.recv()
-            response, size, work_us = self.handler(datagram.payload)
-            if work_us:
-                yield self.node.cpu.run(work_us, name=f"{self.name}-handler")
-            yield conn.send(response, size=size)
+            request = datagram.payload
+            if isinstance(request, _RpcRequest):
+                cached = self._seen.get(request.rid)
+                if cached is not None:
+                    # Duplicate (client retry): replay the recorded
+                    # response without re-executing the handler.
+                    self.dup_requests += 1
+                    response, size = cached
+                    yield conn.send(_RpcReply(request.rid, response),
+                                    size=size)
+                    continue
+                response, size, work_us = self.handler(request.payload)
+                if work_us:
+                    yield self.node.cpu.run(work_us,
+                                            name=f"{self.name}-handler")
+                self._remember(request.rid, response, size)
+                yield conn.send(_RpcReply(request.rid, response), size=size)
+            else:
+                response, size, work_us = self.handler(request)
+                if work_us:
+                    yield self.node.cpu.run(work_us,
+                                            name=f"{self.name}-handler")
+                yield conn.send(response, size=size)
             self.requests_served += 1
+
+    def _remember(self, rid: int, response: Any, size: int) -> None:
+        self._seen[rid] = (response, size)
+        while len(self._seen) > self.dedup_window:
+            self._seen.popitem(last=False)
 
 
 class RpcChannel:
@@ -80,17 +145,86 @@ class RpcChannel:
         self.conn = conn
         self.env = conn.env
         self.calls = 0
+        self.timeouts = 0     # attempts that hit their deadline
+        self.dup_replies = 0  # late/duplicate replies discarded
+        self._waiting: Dict[int, Event] = {}
+        self._pump_on = False
 
-    def call(self, payload: Any, size: int = 0) -> Event:
-        """Issue one request; the event's value is the response payload."""
+    def call(self, payload: Any, size: int = 0, *,
+             timeout_us: float = None, retries: int = 0,
+             backoff: float = 2.0) -> Event:
+        """Issue one request; the event's value is the response payload.
+
+        With ``timeout_us`` set, the attempt is abandoned after that
+        many microseconds and re-sent up to ``retries`` more times, each
+        attempt's deadline growing by ``backoff``×.  Exhausting the
+        budget fails the event with :class:`repro.errors.TimeoutError`.
+        """
+        if retries < 0:
+            raise ConfigError("retries must be non-negative")
+        if retries and timeout_us is None:
+            raise ConfigError("retries require a timeout_us deadline")
+        if timeout_us is not None and timeout_us <= 0:
+            raise ConfigError("timeout_us must be positive")
+        if backoff < 1.0:
+            raise ConfigError("backoff factor must be >= 1.0")
         self.calls += 1
-        return self.env.process(self._call_proc(payload, size),
-                                name="rpc-call")
+        if timeout_us is None and not self._pump_on:
+            return self.env.process(self._call_proc(payload, size),
+                                    name="rpc-call")
+        # Once the reply pump owns conn.recv(), every call (deadline or
+        # not) must go through the enveloped path.
+        return self.env.process(
+            self._reliable_proc(payload, size, timeout_us, retries, backoff),
+            name="rpc-call")
 
     def _call_proc(self, payload, size):
         yield self.conn.send(payload, size=size)
         reply = yield self.conn.recv()
         return reply.payload
+
+    # -- reliable path -------------------------------------------------
+    def _ensure_pump(self) -> None:
+        if not self._pump_on:
+            self._pump_on = True
+            self.env.process(self._pump_proc(), name="rpc-reply-pump")
+
+    def _pump_proc(self):
+        """Sole reader of the connection: route replies by request id."""
+        while True:
+            datagram = yield self.conn.recv()
+            body = datagram.payload
+            rid = body.rid if isinstance(body, _RpcReply) else None
+            waiter = self._waiting.pop(rid, None)
+            if waiter is None:
+                # Reply for a call that already timed out, or a
+                # duplicate of one we already consumed.
+                self.dup_replies += 1
+                continue
+            waiter.succeed(body.payload)
+
+    def _reliable_proc(self, payload, size, timeout_us, retries, backoff):
+        self._ensure_pump()
+        rid = self.env.next_id("rpc")
+        request = _RpcRequest(rid, payload)
+        # One reply event for all attempts: a late reply to attempt k
+        # satisfies attempt k+1 (same rid, same cached response).
+        reply = self.env.event()
+        self._waiting[rid] = reply
+        deadline_us = timeout_us
+        for attempt in range(retries + 1):
+            yield self.conn.send(request, size=size)
+            if timeout_us is None:
+                return (yield reply)
+            yield AnyOf(self.env, [reply, self.env.timeout(deadline_us)])
+            if reply.triggered:
+                return reply._value
+            self.timeouts += 1
+            deadline_us *= backoff
+        self._waiting.pop(rid, None)
+        raise TimeoutError(
+            f"rpc {rid} to node {self.conn.peer_node}: no reply after "
+            f"{retries + 1} attempt(s)")
 
 
 class RpcClient:

@@ -1,0 +1,141 @@
+"""RPC reliability under message loss: timeout, retry, at-most-once."""
+
+import pytest
+
+from repro.errors import ConfigError, TimeoutError
+from repro.net import Cluster
+from repro.faults import FaultPlan
+from repro.transport import RpcClient, RpcServer, TcpEndpoint
+
+
+def build(plan=None, seed=0):
+    cluster = Cluster(n_nodes=2, seed=seed)
+    if plan is not None:
+        cluster.install_faults(plan)
+    served = []
+
+    def handler(req):
+        served.append(req)
+        return {"echo": req}, 32, 1.0
+
+    server = RpcServer(TcpEndpoint(cluster.nodes[0]), port=9,
+                       handler=handler)
+    server.start()
+    client = RpcClient(TcpEndpoint(cluster.nodes[1]))
+    return cluster, server, client, served
+
+
+class TestRetry:
+    def test_all_calls_complete_under_heavy_drop(self):
+        """40% loss each way: every call still completes, and despite
+        the re-sends each request executes the handler exactly once."""
+        cluster, server, client, served = build(
+            FaultPlan().drop_messages(0.4, start=50.0))
+        replies = []
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            for i in range(30):
+                r = yield chan.call(i, size=64, timeout_us=2_000.0,
+                                    retries=8)
+                replies.append(r)
+            return chan
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+        chan = p.value
+        assert replies == [{"echo": i} for i in range(30)]
+        # at-most-once: duplicate requests were answered from the
+        # server's dedup cache, not re-executed
+        assert sorted(served) == list(range(30))
+        assert chan.timeouts > 0  # the drops actually bit
+
+    def test_timeout_without_retries_raises(self):
+        cluster, server, client, served = build(
+            FaultPlan().drop_messages(1.0, src=1, dst=0, start=50.0))
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            yield env.timeout(100.0)  # enter the loss window first
+            with pytest.raises(TimeoutError):
+                yield chan.call("x", size=64, timeout_us=500.0)
+            return env.now
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+        assert served == []  # request never arrived
+
+    def test_retry_budget_exhaustion_raises(self):
+        cluster, server, client, served = build(
+            FaultPlan().drop_messages(1.0, src=1, dst=0, start=50.0))
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            yield env.timeout(100.0)  # enter the loss window first
+            t0 = env.now
+            with pytest.raises(TimeoutError):
+                yield chan.call("x", size=64, timeout_us=100.0,
+                                retries=3, backoff=2.0)
+            return env.now - t0
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+        # four attempts with doubling deadlines: 100+200+400+800
+        assert p.value >= 1_500.0
+
+    def test_late_reply_satisfies_retried_call(self):
+        """A reply that arrives after its attempt timed out must still
+        complete the call (it matches by request id, not by attempt)."""
+        cluster, server, client, served = build(
+            FaultPlan().degrade_link(50.0, src=0, dst=1,
+                                     start=0.0, until=3_000.0))
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            r = yield chan.call("slow", size=64, timeout_us=300.0,
+                                retries=10)
+            return r, chan
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+        r, chan = p.value
+        assert r == {"echo": "slow"}
+        assert served.count("slow") == 1  # replays, not re-executions
+
+    def test_validation(self):
+        cluster, server, client, served = build()
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            with pytest.raises(ConfigError):
+                chan.call("x", retries=1)            # retries need timeout
+            with pytest.raises(ConfigError):
+                chan.call("x", timeout_us=-1.0)
+            with pytest.raises(ConfigError):
+                chan.call("x", timeout_us=10.0, retries=-1)
+            with pytest.raises(ConfigError):
+                chan.call("x", timeout_us=10.0, retries=1, backoff=0.5)
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+
+    def test_fault_free_calls_unchanged(self):
+        """Without a timeout the legacy raw path is used — and with one
+        but no faults, results and handler counts match exactly."""
+        cluster, server, client, served = build()
+        replies = []
+
+        def app(env):
+            chan = yield client.open(0, port=9)
+            r1 = yield chan.call("a", size=16)
+            r2 = yield chan.call("b", size=16, timeout_us=10_000.0,
+                                 retries=2)
+            replies.extend([r1, r2])
+            return chan
+
+        p = cluster.env.process(app(cluster.env))
+        cluster.env.run_until_event(p, limit=1e9)
+        chan = p.value
+        assert replies == [{"echo": "a"}, {"echo": "b"}]
+        assert served == ["a", "b"]
+        assert chan.timeouts == 0 and server.dup_requests == 0

@@ -311,6 +311,74 @@ class TestFabric:
         assert ib.fabric.transfers == 2
 
 
+class TestMulticastAccounting:
+    def test_one_injection_regardless_of_group_size(self, ib):
+        """Switch replication: the payload is charged to the fabric
+        exactly once, not once per destination."""
+        ev = ib.fabric.multicast(0, [1, 2, 3], 4096)
+        ib.env.run_until_event(ev)
+        assert ib.fabric.bytes_moved == 4096
+        assert ib.fabric.transfers == 1
+
+    def test_multicast_vs_unicast_loop_accounting(self, ib):
+        ib.fabric.multicast(0, [1, 2, 3], 1000)
+        ib.env.run()
+        mc_bytes, mc_xfers = ib.fabric.bytes_moved, ib.fabric.transfers
+        for dst in (1, 2, 3):
+            ib.fabric.transfer(0, dst, 1000)
+        ib.env.run()
+        assert ib.fabric.bytes_moved - mc_bytes == 3 * mc_bytes
+        assert ib.fabric.transfers - mc_xfers == 3
+
+    def test_multicast_completion_time_independent_of_group(self):
+        times = {}
+        for n_dst in (1, 3):
+            c = Cluster(n_nodes=4, params=NetworkParams.infiniband(),
+                        seed=1)
+            ev = c.fabric.multicast(0, list(range(1, 1 + n_dst)), 8192)
+            c.env.run_until_event(ev)
+            times[n_dst] = c.env.now
+        assert times[1] == times[3]
+
+    def test_multicast_validation(self, ib):
+        with pytest.raises(ConfigError):
+            ib.fabric.multicast(0, [], 64)
+        with pytest.raises(ConfigError):
+            ib.fabric.multicast(99, [1], 64)
+        with pytest.raises(ConfigError):
+            ib.fabric.multicast(0, [99], 64)
+        with pytest.raises(ConfigError):
+            ib.fabric.multicast(0, [1], -1)
+
+
+class TestEgressQueue:
+    def test_queue_len_reflects_waiting_transfers(self, ib):
+        """Three concurrent sends: one serializing, two queued behind it
+        on the sender's egress link."""
+        nbytes = 900_000  # ~1000us serialization each
+        for _ in range(3):
+            ib.fabric.transfer(0, 1, nbytes)
+        seen = []
+
+        def watch(env):
+            yield env.timeout(500.0)   # first transfer mid-serialization
+            seen.append(ib.fabric.egress_queue_len(0))
+            yield env.timeout(1_000.0)  # second now holds the link
+            seen.append(ib.fabric.egress_queue_len(0))
+
+        ib.env.process(watch(ib.env))
+        ib.env.run()
+        assert seen == [2, 1]
+        assert ib.fabric.egress_queue_len(0) == 0  # drained
+
+    def test_queue_empty_without_contention(self, ib):
+        ib.fabric.transfer(0, 1, 64)
+        ib.fabric.transfer(1, 2, 64)
+        ib.env.run()
+        for node_id in range(4):
+            assert ib.fabric.egress_queue_len(node_id) == 0
+
+
 class TestClusterBuilder:
     def test_nodes_named_and_ided(self):
         c = Cluster(names=["proxy0", "proxy1", "app0"])

@@ -1,0 +1,36 @@
+"""Smoke test: every script in examples/ runs to completion.
+
+Each example doubles as living documentation of the public API; this
+keeps them from rotting when a signature changes.  Scripts run in a
+subprocess (their own interpreter, like a reader would run them) and
+must exit 0 without writing to stderr.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+TIMEOUT_S = 120
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, env=env, timeout=TIMEOUT_S,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}")
+    assert proc.stderr == "", f"{script.name} wrote to stderr"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5  # the gallery should not silently shrink
