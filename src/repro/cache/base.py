@@ -156,7 +156,19 @@ class CoopCacheBase:
                                            token, wire_bytes=size)
         else:
             yield self.env.timeout(size * LOCAL_COPY_US_PER_BYTE)
-        evicted = self.stores[target.id].insert(doc, size, token)
+        store = self.stores[target.id]
+        evicted = store.insert(doc, size, token)
+        obs = self.env.obs
+        if obs is not None:
+            # evictions are emitted before the admit so the accounting
+            # sanitizer sees the store shrink before it grows
+            for edoc, esize in evicted:
+                obs.trace.emit("cache.evict", node=target.id,
+                               doc=edoc, size=esize)
+                obs.metrics.counter("cache.evicts", node=target.id).inc()
+            obs.trace.emit("cache.admit", node=target.id, doc=doc,
+                           size=size, used=store.used,
+                           capacity=store.capacity)
         yield from self._evict_fixups(from_node, target, evicted)
 
     def _evict_fixups(self, actor: Node, owner: Node, evicted):
@@ -210,9 +222,43 @@ class CoopCacheBase:
                                         preload=preload)
         else:
             self.directory.retire_shard(victim.id, delegate)
+        obs = self.env.obs
         for doc in docs:
+            if obs is not None:
+                entry = store.peek(doc)
+                if entry is not None:
+                    obs.trace.emit("cache.evict", node=victim.id,
+                                   doc=doc, size=entry[0])
+                    obs.metrics.counter("cache.evicts",
+                                        node=victim.id).inc()
             store.remove(doc)
         return None
+
+    # -- stats + trace emission ----------------------------------------------
+    def _note_local_hit(self, proxy: Node, doc: int) -> None:
+        self.local_hits += 1
+        self._obs_access("cache.hit.local", proxy, doc)
+
+    def _note_remote_hit(self, proxy: Node, doc: int) -> None:
+        self.remote_hits += 1
+        self._obs_access("cache.hit.remote", proxy, doc)
+
+    def _note_miss(self, proxy: Node, doc: int) -> None:
+        self.misses += 1
+        self._obs_access("cache.miss", proxy, doc)
+
+    _ACCESS_COUNTERS = {
+        "cache.hit.local": "cache.local_hits",
+        "cache.hit.remote": "cache.remote_hits",
+        "cache.miss": "cache.misses",
+    }
+
+    def _obs_access(self, etype: str, proxy: Node, doc: int) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=proxy.id, doc=doc)
+            obs.metrics.counter(self._ACCESS_COUNTERS[etype],
+                                node=proxy.id).inc()
 
     # -- diagnostics ---------------------------------------------------------
     @property

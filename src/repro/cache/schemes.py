@@ -30,9 +30,9 @@ class ApacheCache(CoopCacheBase):
         self._check_doc(doc)
         token = yield from self._local_get(proxy, doc)
         if token is not None:
-            self.local_hits += 1
+            self._note_local_hit(proxy, doc)
             return FetchResult("local", token)
-        self.misses += 1
+        self._note_miss(proxy, doc)
         return MISS
 
     def admit_gen(self, proxy: Node, doc: int):
@@ -53,19 +53,19 @@ class BasicCooperativeCache(CoopCacheBase):
         self._check_doc(doc)
         token = yield from self._local_get(proxy, doc)
         if token is not None:
-            self.local_hits += 1
+            self._note_local_hit(proxy, doc)
             return FetchResult("local", token)
         holder, _size = yield from self.directory.lookup(proxy, doc)
         if holder is not None and holder != proxy.id:
             token = yield from self._pull(proxy, holder, doc)
             if token is not None:
-                self.remote_hits += 1
+                self._note_remote_hit(proxy, doc)
                 # duplicate locally and advertise ourselves as a holder
                 yield from self._push(proxy, proxy, doc)
                 yield from self.directory.update(proxy, doc, proxy.id,
                                                  self.fileset.size(doc))
                 return FetchResult("remote", token)
-        self.misses += 1
+        self._note_miss(proxy, doc)
         return MISS
 
     def admit_gen(self, proxy: Node, doc: int):
@@ -90,17 +90,17 @@ class CacheWithoutRedundancy(CoopCacheBase):
         if home.id == proxy.id:
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self.local_hits += 1
+                self._note_local_hit(proxy, doc)
                 return FetchResult("local", token)
-            self.misses += 1
+            self._note_miss(proxy, doc)
             return MISS
         holder, _size = yield from self.directory.lookup(proxy, doc)
         if holder is not None:
             token = yield from self._pull(proxy, holder, doc)
             if token is not None:
-                self.remote_hits += 1
+                self._note_remote_hit(proxy, doc)
                 return FetchResult("remote", token)
-        self.misses += 1
+        self._note_miss(proxy, doc)
         return MISS
 
     def admit_gen(self, proxy: Node, doc: int):
@@ -156,34 +156,34 @@ class HybridCache(CoopCacheBase):
             # BCC-style: local first, then any advertised holder
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self.local_hits += 1
+                self._note_local_hit(proxy, doc)
                 return FetchResult("local", token)
             holder, _size = yield from self.directory.lookup(proxy, doc)
             if holder is not None and holder != proxy.id:
                 token = yield from self._pull(proxy, holder, doc)
                 if token is not None:
-                    self.remote_hits += 1
+                    self._note_remote_hit(proxy, doc)
                     yield from self._push(proxy, proxy, doc)
                     yield from self.directory.update(
                         proxy, doc, proxy.id, self.fileset.size(doc))
                     return FetchResult("remote", token)
-            self.misses += 1
+            self._note_miss(proxy, doc)
             return MISS
         # MTACC-style: single copy at the (extended-set) home
         home = self.directory.host_of(doc)
         if home.id == proxy.id:
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self.local_hits += 1
+                self._note_local_hit(proxy, doc)
                 return FetchResult("local", token)
         else:
             holder, _size = yield from self.directory.lookup(proxy, doc)
             if holder is not None:
                 token = yield from self._pull(proxy, holder, doc)
                 if token is not None:
-                    self.remote_hits += 1
+                    self._note_remote_hit(proxy, doc)
                     return FetchResult("remote", token)
-        self.misses += 1
+        self._note_miss(proxy, doc)
         return MISS
 
     def admit_gen(self, proxy: Node, doc: int):

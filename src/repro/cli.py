@@ -251,6 +251,45 @@ EXPERIMENTS: Dict[str, Callable[[], List[BenchTable]]] = {
 
 
 # ---------------------------------------------------------------------------
+# observability subcommand
+# ---------------------------------------------------------------------------
+
+def _obs_main(args) -> int:
+    from repro.obs.scenarios import SCENARIOS, run_scenario
+
+    if args.action == "list":
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    if not args.scenario:
+        print("obs run requires a scenario name; try: repro obs list",
+              file=sys.stderr)
+        return 2
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(SCENARIOS))}",
+              file=sys.stderr)
+        return 2
+    obs = run_scenario(args.scenario, seed=args.seed,
+                       sanitize=not args.no_sanitize, strict=False)
+    if args.json:
+        obs.export_json(args.json)
+        print(f"wrote {args.json}")
+    summary = obs.to_dict()
+    print(f"[{args.scenario}] sim time: {summary['sim_now_us']:.1f} us, "
+          f"events: {summary['events']['emitted']}")
+    for etype, n in sorted(summary["events"]["by_type"].items()):
+        print(f"  {etype:24s} {n}")
+    bad = obs.violations()
+    if obs.sanitizers:
+        print(f"sanitizers: {len(obs.sanitizers)} attached, "
+              f"{len(bad)} violation(s)")
+        for v in bad[:10]:
+            print(f"  [{v['sanitizer']}] t={v['t']:.1f} {v['msg']}")
+    return 1 if bad else 0
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -264,7 +303,21 @@ def main(argv=None) -> int:
     runp = sub.add_parser("run", help="run one or more experiments")
     runp.add_argument("ids", nargs="+",
                       help="experiment ids (or 'all')")
+    obsp = sub.add_parser(
+        "obs", help="run an instrumented demo workload "
+                    "(tracing + metrics + sanitizers)")
+    obsp.add_argument("action", choices=["list", "run"])
+    obsp.add_argument("scenario", nargs="?",
+                      help="scenario name (for 'run')")
+    obsp.add_argument("--seed", type=int, default=0)
+    obsp.add_argument("--json", metavar="PATH", default=None,
+                      help="write the deterministic JSON export here")
+    obsp.add_argument("--no-sanitize", action="store_true",
+                      help="trace + metrics only, no invariant checks")
     args = parser.parse_args(argv)
+
+    if args.command == "obs":
+        return _obs_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -1,8 +1,13 @@
-"""Throughput/latency accounting for data-center runs."""
+"""Throughput/latency accounting for data-center runs.
+
+The latency summary is a :class:`repro.obs.metrics.LatencyHistogram`, so
+data-center benches and the observability layer report quantiles through
+the same nearest-rank machinery (``repro.sim.trace.rank_of``).
+"""
 
 from __future__ import annotations
 
-from repro.sim.trace import Tally
+from repro.obs.metrics import LatencyHistogram
 
 __all__ = ["DataCenterMetrics"]
 
@@ -13,18 +18,18 @@ class DataCenterMetrics:
     def __init__(self, env):
         self.env = env
         self.completed = 0
-        self.latency = Tally("latency_us")
+        self.latency = LatencyHistogram("latency_us")
         self._t0 = env.now
 
     def start_window(self) -> None:
         """Reset the measurement window (e.g. after warm-up)."""
         self.completed = 0
-        self.latency = Tally("latency_us")
+        self.latency = LatencyHistogram("latency_us")
         self._t0 = self.env.now
 
     def record(self, started_at: float) -> None:
         self.completed += 1
-        self.latency.add(self.env.now - started_at)
+        self.latency.observe(self.env.now - started_at)
 
     @property
     def elapsed_us(self) -> float:
@@ -37,4 +42,10 @@ class DataCenterMetrics:
         return self.completed / (self.elapsed_us / 1e6)
 
     def mean_latency_us(self) -> float:
-        return self.latency.mean
+        return self.latency.tally.mean
+
+    def p99_latency_us(self) -> float:
+        """Conservative (bucket upper bound) 99th-percentile latency."""
+        if self.latency.count == 0:
+            return 0.0
+        return self.latency.percentile(99)

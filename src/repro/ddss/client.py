@@ -139,7 +139,11 @@ class DDSSClient:
     # ------------------------------------------------------------------
     def put(self, key: KeyOrMeta, data: bytes) -> Event:
         """Publish ``data`` into the unit under its coherence model."""
-        return self._proc(self._put(key, data), "ddss-put")
+        ev = self._proc(self._put(key, data), "ddss-put")
+        obs = self.env.obs
+        if obs is not None:
+            self._obs_latency(obs, "ddss.put_us", ev)
+        return ev
 
     def _put(self, key, data):
         meta = yield from self._meta(key)
@@ -147,6 +151,7 @@ class DDSSClient:
             raise DDSSError(
                 f"put of {len(data)} bytes into unit of {meta.size}")
         self.puts += 1
+        self._obs_op("ddss.put", meta.key)
         yield from self._ipc_hop()
         if meta.replicas:
             yield from self._put_replicated(meta, data)
@@ -181,7 +186,11 @@ class DDSSClient:
 
     def get(self, key: KeyOrMeta, length: Optional[int] = None) -> Event:
         """Fetch the unit's data (or its first ``length`` bytes)."""
-        return self._proc(self._get(key, length), "ddss-get")
+        ev = self._proc(self._get(key, length), "ddss-get")
+        obs = self.env.obs
+        if obs is not None:
+            self._obs_latency(obs, "ddss.get_us", ev)
+        return ev
 
     def _get(self, key, length):
         meta = yield from self._meta(key)
@@ -189,6 +198,7 @@ class DDSSClient:
         if n > meta.size:
             raise DDSSError(f"get of {n} bytes from unit of {meta.size}")
         self.gets += 1
+        self._obs_op("ddss.get", meta.key)
         yield from self._ipc_hop()
         model = meta.coherence
 
@@ -196,6 +206,7 @@ class DDSSClient:
             cached = self._data_cache.get(meta.key)
             if cached is not None and (self.env.now - cached[2]) <= meta.ttl_us:
                 self.cache_hits += 1
+                self._obs_op("ddss.cache_hit", meta.key)
                 return cached[1][:n]
 
         last_exc = None
@@ -220,6 +231,7 @@ class DDSSClient:
                 version = yield from self._read_version(meta)
                 if version - cached[0] <= meta.delta:
                     self.cache_hits += 1
+                    self._obs_op("ddss.cache_hit", meta.key)
                     return cached[1][:n]
 
         if model.locks_reads:
@@ -403,6 +415,7 @@ class DDSSClient:
             old = yield self.node.nic.cas(
                 meta.home, meta.addr + LOCK_OFF, meta.rkey, 0, self._token)
             if old == 0:
+                self._obs_lock("ddss.lock.acquire", meta)
                 return
             yield self.env.timeout(delay)
             delay = min(delay * mult, cap)
@@ -414,6 +427,33 @@ class DDSSClient:
             raise CoherenceError(
                 f"unlock by non-owner: lock word was {old:#x}, "
                 f"expected {self._token:#x}")
+        self._obs_lock("ddss.lock.release", meta)
+
+    # -- observability ---------------------------------------------------
+    def _obs_op(self, etype: str, key: int) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.node.id, key=key)
+            obs.metrics.counter(f"{etype}s", node=self.node.id).inc()
+
+    def _obs_lock(self, etype: str, meta: UnitMeta) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.node.id, home=meta.home,
+                           addr=meta.addr + LOCK_OFF, token=self._token)
+
+    def _obs_latency(self, obs, name: str, ev) -> None:
+        t0 = self.env.now
+        node = self.node.id
+
+        def done(e):
+            if e.ok:
+                us = self.env.now - t0
+                obs.metrics.histogram(name).observe(us)
+                obs.metrics.histogram(name, node=node).observe(us)
+
+        done._obs_passive = True
+        ev.add_callback(done)
 
     _local_version_counters: Dict[int, int]
 

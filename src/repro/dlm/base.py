@@ -53,6 +53,9 @@ class LockManagerBase:
         self.clients: Dict[int, "LockClient"] = {}
         #: safety ledger: lock -> set of (token, mode) currently granted
         self.holders: Dict[int, Set[Tuple[int, LockMode]]] = {}
+        #: stable name for trace events; drawn from a dedicated id stream
+        #: unconditionally so runs with and without obs stay identical
+        self.obs_name = f"{self.SCHEME}-{self.env.next_id('obs-dlm')}"
         self._setup_homes()
 
     def _setup_homes(self) -> None:
@@ -87,12 +90,14 @@ class LockManagerBase:
                 f"SAFETY: shared grant of lock {lock_id} to {token} "
                 f"while exclusively held")
         held.add((token, mode))
+        self._obs_ledger("lock.grant", lock_id, token, mode=mode.name)
 
     def _ledger_release(self, lock_id: int, token: int) -> LockMode:
         held = self.holders.setdefault(lock_id, set())
         for entry in held:
             if entry[0] == token:
                 held.remove(entry)
+                self._obs_ledger("lock.release", lock_id, token)
                 return entry[1]
         raise LockError(
             f"release of lock {lock_id} by non-holder {token}")
@@ -103,8 +108,18 @@ class LockManagerBase:
         for entry in held:
             if entry[0] == token:
                 held.remove(entry)
+                self._obs_ledger("lock.revoke", lock_id, token)
                 return entry[1]
         return None
+
+    def _obs_ledger(self, etype: str, lock_id: int, token: int,
+                    **extra) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.home_node(lock_id).id,
+                           mgr=self.obs_name, lock=lock_id, token=token,
+                           **extra)
+            obs.metrics.counter(f"dlm.{etype.split('.')[1]}s").inc()
 
     def holder_count(self, lock_id: int) -> int:
         return len(self.holders.get(lock_id, ()))
@@ -132,9 +147,30 @@ class LockClient:
         """Acquire; the event fires when the lock is granted."""
         self.manager._check_lock(lock_id)
         self.acquires += 1
-        return self.env.process(
+        ev = self.env.process(
             self._acquire(lock_id, mode),
             name=f"{self.manager.SCHEME}-acq@{self.node.name}")
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("lock.request", node=self.node.id,
+                           mgr=self.manager.obs_name, lock=lock_id,
+                           token=self.token, mode=mode.name)
+            self._obs_acquire_latency(obs, ev)
+        return ev
+
+    def _obs_acquire_latency(self, obs, ev) -> None:
+        t0 = self.env.now
+        node = self.node.id
+        name = f"dlm.{self.manager.SCHEME}.acquire_us"
+
+        def done(e):
+            if e.ok:
+                us = self.env.now - t0
+                obs.metrics.histogram(name).observe(us)
+                obs.metrics.histogram(name, node=node).observe(us)
+
+        done._obs_passive = True
+        ev.add_callback(done)
 
     def release(self, lock_id: int) -> Event:
         """Release; the event fires when the hand-off has been initiated."""

@@ -272,6 +272,14 @@ class NCoSEDManager(LockManagerBase):
         self._epochs[lock_id] = new_ep
         home = self.home_node(lock_id)
         self._words[home.id].write_u64(8 * lock_id, pack_ft(new_ep, 0, 0))
+        obs = self.env.obs
+        if obs is not None:
+            # emitted before the revokes so the sanitizer advances its
+            # authoritative epoch first, then validates each revocation
+            obs.trace.emit("lock.reclaim", node=home.id,
+                           mgr=self.obs_name, lock=lock_id,
+                           old_ep=old_ep, new_ep=new_ep)
+            obs.metrics.counter("dlm.reclaims").inc()
         for token, _mode in list(self.holders.get(lock_id, ())):
             self._ledger_expunge(lock_id, token)
             self._revoked[(lock_id, token)] = old_ep
@@ -297,6 +305,14 @@ class NCoSEDClient(LockClient):
         self._tenures: Dict[int, _Tenure] = {}
         self._grant_ep: Dict[int, int] = {}
         self._seen_uids: "OrderedDict[int, None]" = OrderedDict()
+
+    def _obs_word(self, lock_id: int, word: int) -> None:
+        """Trace a protocol step's view of the raw 64-bit lock word."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("lock.word", node=self.node.id,
+                           mgr=self.manager.obs_name, lock=lock_id,
+                           word=word, ft=self.manager.ft)
 
     def _accept_msg(self, body: dict) -> bool:
         uid = body.get("uid")
@@ -329,6 +345,7 @@ class NCoSEDClient(LockClient):
     def _acquire_shared(self, lock_id: int):
         home, addr, rkey = self.manager.word(lock_id)
         old = yield self.node.nic.faa(home, addr, rkey, 1)
+        self._obs_word(lock_id, old)
         tail, _count = unpack(old)
         if tail == 0:
             return  # granted immediately, concurrently with other shareds
@@ -348,12 +365,14 @@ class NCoSEDClient(LockClient):
         tenure = _Tenure()
         while True:
             old = yield nic.cas(home, addr, rkey, 0, pack(self.token, 0))
+            self._obs_word(lock_id, old)
             if old == 0:
                 self._tenures[lock_id] = tenure
                 return  # free word: granted
             tail, count = unpack(old)
             old2 = yield nic.cas(home, addr, rkey, old,
                                  pack(self.token, 0))
+            self._obs_word(lock_id, old2)
             if old2 != old:
                 continue  # lost the race; retry with fresh value
             # enqueued: we are the new tail; shared requests from now on
@@ -413,6 +432,7 @@ class NCoSEDClient(LockClient):
         while True:
             raw = yield nic.rdma_read(home, addr, rkey, 8)
             word = int.from_bytes(raw, "big")
+            self._obs_word(lock_id, word)
             tail, count = unpack(word)
             if tail != 0:
                 # an exclusive is pending: it (or its chain head) absorbs
@@ -424,6 +444,7 @@ class NCoSEDClient(LockClient):
                 raise LockError("shared release with zero count")
             old = yield nic.cas(home, addr, rkey, word,
                                 pack(0, count - 1))
+            self._obs_word(lock_id, old)
             if old == word:
                 return
 
@@ -439,6 +460,7 @@ class NCoSEDClient(LockClient):
             n_reg = len(tenure.registered)
             guess = pack(self.token, n_reg)
             old = yield nic.cas(home, addr, rkey, guess, pack(0, n_reg))
+            self._obs_word(lock_id, old)
             if old == guess:
                 for waiter in tenure.registered:
                     self._peer_send(waiter, {"t": "nc", "kind": "sgrant",
@@ -448,6 +470,7 @@ class NCoSEDClient(LockClient):
             while tenure.xenq is None:
                 raw = yield nic.rdma_read(home, addr, rkey, 8)
                 word = int.from_bytes(raw, "big")
+                self._obs_word(lock_id, word)
                 tail, count = unpack(word)
                 if tail != self.token:
                     # a successor swapped itself in: await its xenq
@@ -458,6 +481,7 @@ class NCoSEDClient(LockClient):
                 if tenure.xenq is not None:
                     break
                 old = yield nic.cas(home, addr, rkey, word, pack(0, count))
+                self._obs_word(lock_id, old)
                 if old != word:
                     continue  # word moved under us; reassess
                 # lock is no longer exclusively owned: grant every shared
@@ -546,6 +570,7 @@ class NCoSEDClient(LockClient):
         mgr = self.manager
         home, addr, rkey = mgr.word(lock_id)
         old = yield self.node.nic.faa(home, addr, rkey, 1)
+        self._obs_word(lock_id, old)
         ep, tail, _count = unpack_ft(old)
         if mgr.lock_epoch(lock_id) != ep:
             # the word was reclaimed around our increment: the +1 was
@@ -576,6 +601,7 @@ class NCoSEDClient(LockClient):
         tenure = _Tenure()
         while True:
             raw = yield nic.rdma_read(home, addr, rkey, 8)
+            self._obs_word(lock_id, int.from_bytes(raw, "big"))
             ep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
             if tail == self.token:
                 # residue of an aborted attempt; the reaper clears it
@@ -583,6 +609,7 @@ class NCoSEDClient(LockClient):
             word = pack_ft(ep, tail, count)
             old = yield nic.cas(home, addr, rkey, word,
                                 pack_ft(ep, self.token, 0))
+            self._obs_word(lock_id, old)
             if old != word:
                 continue  # lost the race (or raced a reclaim): re-read
             tenure.ep = ep
@@ -635,6 +662,7 @@ class NCoSEDClient(LockClient):
         """Lease expired while waiting: re-read the word, bail if moved."""
         home, addr, rkey = self.manager.word(lock_id)
         raw = yield self.node.nic.rdma_read(home, addr, rkey, 8)
+        self._obs_word(lock_id, int.from_bytes(raw, "big"))
         if unpack_ft(int.from_bytes(raw, "big"))[0] != ep:
             raise _Stale(f"lock {lock_id} reclaimed while waiting")
 
@@ -668,6 +696,7 @@ class NCoSEDClient(LockClient):
         nic = self.node.nic
         while True:
             raw = yield nic.rdma_read(home, addr, rkey, 8)
+            self._obs_word(lock_id, int.from_bytes(raw, "big"))
             wep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
             if wep != ep:
                 return  # revoked: our count contribution was wiped
@@ -681,6 +710,7 @@ class NCoSEDClient(LockClient):
             word = pack_ft(ep, 0, count)
             old = yield nic.cas(home, addr, rkey, word,
                                 pack_ft(ep, 0, count - 1))
+            self._obs_word(lock_id, old)
             if old == word:
                 return
 
@@ -694,11 +724,13 @@ class NCoSEDClient(LockClient):
             guess = pack_ft(ep, self.token, n_reg)
             old = yield nic.cas(home, addr, rkey, guess,
                                 pack_ft(ep, 0, n_reg))
+            self._obs_word(lock_id, old)
             if old == guess:
                 self._grant_shared_ft(lock_id, tenure.registered, ep)
                 return
             while tenure.xenq is None:
                 raw = yield nic.rdma_read(home, addr, rkey, 8)
+                self._obs_word(lock_id, int.from_bytes(raw, "big"))
                 wep, tail, count = unpack_ft(int.from_bytes(raw, "big"))
                 if wep != ep:
                     return  # revoked mid-release: fresh epoch owns it
@@ -717,6 +749,7 @@ class NCoSEDClient(LockClient):
                 word = pack_ft(ep, tail, count)
                 old = yield nic.cas(home, addr, rkey, word,
                                     pack_ft(ep, 0, count))
+                self._obs_word(lock_id, old)
                 if old != word:
                     continue
                 self._grant_shared_ft(lock_id, tenure.registered, ep)
@@ -763,6 +796,7 @@ class NCoSEDClient(LockClient):
             body = yield from self._wait_lease(lock_id, "nc", mgr.lease_us)
             if body is None:
                 raw = yield self.node.nic.rdma_read(home, addr, rkey, 8)
+                self._obs_word(lock_id, int.from_bytes(raw, "big"))
                 if unpack_ft(int.from_bytes(raw, "big"))[0] != ep:
                     return False
                 continue

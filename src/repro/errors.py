@@ -23,6 +23,7 @@ __all__ = [
     "CacheError",
     "MonitorError",
     "ConfigError",
+    "SanitizerError",
 ]
 
 
@@ -92,6 +93,15 @@ class MonitorError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration of a simulated component."""
+
+
+class SanitizerError(ReproError):
+    """A protocol sanitizer observed an invariant violation online.
+
+    Raised at the emission instant (strict mode) so the offending event
+    is at the top of the traceback; in collecting mode the violation is
+    only recorded on the sanitizer (see :mod:`repro.obs.sanitizers`).
+    """
 
 
 def __getattr__(name: str):

@@ -82,6 +82,7 @@ class FaultInjector:
             return
         self.down.add(node_id)
         self.log.append((self.env.now, "crash", node_id))
+        self._obs_fault("fault.crash", node_id)
         for fn in self._listeners:
             fn(node_id, "crash")
 
@@ -91,8 +92,15 @@ class FaultInjector:
             return
         self.down.discard(node_id)
         self.log.append((self.env.now, "restart", node_id))
+        self._obs_fault("fault.restart", node_id)
         for fn in self._listeners:
             fn(node_id, "restart")
+
+    def _obs_fault(self, etype: str, node_id: int) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=node_id)
+            obs.metrics.counter(f"{etype}s").inc()
 
     def _crash_proc(self, crash):
         if crash.at > self.env.now:

@@ -71,3 +71,16 @@ class Cluster:
         """
         from repro.faults import FaultInjector
         return FaultInjector(self, plan, **kwargs)
+
+    def observe(self, **kwargs):
+        """Install :class:`repro.obs.Observability` on the environment.
+
+        Returns the (installed) observability handle; keyword arguments
+        are forwarded (``ring``, ``sanitize``, ``strict``).  Install
+        before starting the workload — sanitizers build their shadow
+        models from the trace and must see it from the beginning.
+        """
+        from repro.obs import Observability
+        if self.env.obs is not None:
+            return self.env.obs
+        return Observability(self.env, **kwargs).install()

@@ -74,6 +74,10 @@ class Fabric:
                 return fail  # refused transfers move no bytes
         self.transfers += 1
         self.bytes_moved += nbytes
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.counter("fabric.transfers").inc()
+            obs.metrics.counter("fabric.bytes").inc(nbytes)
         if src_id == dst_id:
             return self.env.timeout(self.params.local_op_us)
         return self.env.process(
@@ -123,6 +127,10 @@ class Fabric:
                 return fail
         self.transfers += 1
         self.bytes_moved += nbytes  # injected once, replicated in-switch
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.counter("fabric.transfers").inc()
+            obs.metrics.counter("fabric.bytes").inc(nbytes)
         return self.env.process(self._transfer_proc(src_id, None, nbytes),
                                 name=f"mcast-{src_id}")
 

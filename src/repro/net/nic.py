@@ -93,6 +93,7 @@ class NIC:
         msg = Message(src=self.node.id, dst=dst_id, tag=tag,
                       payload=payload, size=size, sent_at=self.env.now,
                       mid=self.env.next_id("msg"))
+        self._obs_send(msg)
         wire = self.fabric.transfer(
             self.node.id, dst_id, size + self.params.header_bytes)
         dst_nic = self.fabric.node(dst_id).nic
@@ -101,6 +102,7 @@ class NIC:
             if not _ev.ok:
                 return  # wire failure: message lost
             copies = self._delivery_copies(msg)
+            self._obs_delivery(msg, copies)
             if copies == 0:
                 return
             msg.arrived_at = self.env.now
@@ -120,6 +122,7 @@ class NIC:
         msg = Message(src=self.node.id, dst=dst_id, tag=tag,
                       payload=payload, size=size, sent_at=self.env.now,
                       mid=self.env.next_id("msg"))
+        self._obs_send(msg)
         done = self.env.event()
         wire = self.fabric.transfer(
             self.node.id, dst_id, size + self.params.header_bytes)
@@ -130,6 +133,7 @@ class NIC:
                 done.fail(_ev._value)
                 return
             copies = self._delivery_copies(msg)
+            self._obs_delivery(msg, copies)
             if copies == 0:
                 # acked delivery: a dropped message surfaces to the sender
                 done.fail(FaultError(
@@ -170,6 +174,7 @@ class NIC:
                               sent_at=sent_at, arrived_at=self.env.now,
                               mid=self.env.next_id("msg"))
                 copies = self._delivery_copies(msg)
+                self._obs_delivery(msg, copies)
                 for _ in range(copies):
                     self.fabric.node(dst).nic._queue(tag).try_put(msg)
             done.succeed()
@@ -183,6 +188,29 @@ class NIC:
         if injector is None:
             return 1
         return injector.message_fate(msg.src, msg.dst)
+
+    def _obs_send(self, msg: Message) -> None:
+        """Observability hook: a send was posted."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("msg.send", node=msg.src, dst=msg.dst,
+                           size=msg.size, mid=msg.mid)
+            obs.metrics.counter("nic.sends", node=msg.src).inc()
+
+    def _obs_delivery(self, msg: Message, copies: int) -> None:
+        """Observability hook: delivery outcome at the receiver."""
+        obs = self.env.obs
+        if obs is None:
+            return
+        if copies == 0:
+            obs.trace.emit("msg.drop", node=msg.dst, src=msg.src,
+                           mid=msg.mid)
+        else:
+            obs.trace.emit("msg.deliver", node=msg.dst, src=msg.src,
+                           mid=msg.mid)
+            if copies > 1:
+                obs.trace.emit("msg.dup", node=msg.dst, src=msg.src,
+                               mid=msg.mid)
 
     def recv(self, tag: Any = 0) -> Event:
         """Wait for the next message with ``tag``; value is a Message."""
@@ -210,9 +238,13 @@ class NIC:
         wire = length if wire_bytes is None else wire_bytes
         if wire < length:
             raise ConfigError("wire_bytes smaller than read length")
-        return self.env.process(
+        ev = self.env.process(
             self._read_proc(dst_id, addr, rkey, length, wire),
             name=f"rdma-read@{self.node.id}")
+        obs = self.env.obs
+        if obs is not None:
+            obs.verb(self, "read", dst_id, wire, ev)
+        return ev
 
     def _read_proc(self, dst_id, addr, rkey, length, wire):
         p = self.params
@@ -235,9 +267,13 @@ class NIC:
         wire = len(data) if wire_bytes is None else wire_bytes
         if wire < len(data):
             raise ConfigError("wire_bytes smaller than payload")
-        return self.env.process(
+        ev = self.env.process(
             self._write_proc(dst_id, addr, rkey, bytes(data), wire),
             name=f"rdma-write@{self.node.id}")
+        obs = self.env.obs
+        if obs is not None:
+            obs.verb(self, "write", dst_id, wire, ev)
+        return ev
 
     def _write_proc(self, dst_id, addr, rkey, data, wire):
         p = self.params
@@ -255,17 +291,25 @@ class NIC:
         """Remote compare-and-swap on a 64-bit word; value = old word."""
         self._need_rdma()
         self.atomics += 1
-        return self.env.process(
+        ev = self.env.process(
             self._atomic_proc(dst_id, addr, rkey, "cas", compare, swap),
             name=f"cas@{self.node.id}")
+        obs = self.env.obs
+        if obs is not None:
+            obs.verb(self, "cas", dst_id, 8, ev)
+        return ev
 
     def faa(self, dst_id: int, addr: int, rkey: int, add: int) -> Event:
         """Remote fetch-and-add on a 64-bit word; value = old word."""
         self._need_rdma()
         self.atomics += 1
-        return self.env.process(
+        ev = self.env.process(
             self._atomic_proc(dst_id, addr, rkey, "faa", add, 0),
             name=f"faa@{self.node.id}")
+        obs = self.env.obs
+        if obs is not None:
+            obs.verb(self, "faa", dst_id, 8, ev)
+        return ev
 
     def _atomic_proc(self, dst_id, addr, rkey, op, a, b):
         p = self.params

@@ -1,0 +1,103 @@
+"""Typed trace events and the event taxonomy.
+
+A :class:`TraceEvent` is a small immutable record: the simulated
+timestamp, the node the event is attributed to (``-1`` when no single
+node applies), a dotted event type from :data:`TAXONOMY`, and a dict of
+type-specific fields.  Dotted types form a hierarchy — sanitizers and
+queries subscribe by *prefix* (``"lock."`` matches ``lock.word`` and
+``lock.reclaim``).
+
+The taxonomy is the contract between emission sites and consumers: an
+emission site may add fields, but the fields listed here are guaranteed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple
+
+__all__ = ["TraceEvent", "TAXONOMY"]
+
+
+class TraceEvent(NamedTuple):
+    """One traced occurrence at simulated time ``t`` on node ``node``."""
+
+    t: float
+    node: int
+    etype: str
+    fields: Dict[str, Any]
+
+
+#: event type -> (guaranteed fields, description)
+TAXONOMY: Dict[str, tuple] = {
+    # -- one-sided verbs (repro.net.nic) -------------------------------
+    "verb.issue": (("op", "dst", "nbytes"),
+                   "one-sided verb posted (op: read|write|cas|faa)"),
+    "verb.complete": (("op", "dst", "us"),
+                      "verb completed; us = issue-to-completion latency"),
+    "verb.fail": (("op", "dst"),
+                  "verb failed (injected fault or crashed peer)"),
+    # -- two-sided messages (repro.net.nic) ----------------------------
+    "msg.send": (("dst", "size", "mid"), "send posted"),
+    "msg.deliver": (("src", "mid"), "message enqueued at the receiver"),
+    "msg.drop": (("src", "mid"), "message dropped by an injected fault"),
+    "msg.dup": (("src", "mid"), "message delivered twice (duplicate)"),
+    # -- RPC (repro.transport.rpc) -------------------------------------
+    "rpc.attempt": (("rid", "attempt"), "reliable call attempt sent"),
+    "rpc.retry": (("rid", "attempt"), "attempt re-sent after a deadline"),
+    "rpc.timeout": (("rid",), "retry budget exhausted; call failed"),
+    "rpc.execute": (("rid",),
+                    "server ran the handler (rid None for plain calls)"),
+    "rpc.dup_request": (("rid",),
+                        "duplicate request answered from the dedup cache"),
+    # -- locks (repro.dlm) ---------------------------------------------
+    "lock.request": (("mgr", "lock", "token", "mode"),
+                     "client began an acquire"),
+    "lock.grant": (("mgr", "lock", "token", "mode"),
+                   "ledger recorded a grant"),
+    "lock.release": (("mgr", "lock", "token"),
+                     "ledger recorded a voluntary release"),
+    "lock.revoke": (("mgr", "lock", "token"),
+                    "grant forcibly ended by a lease reclaim"),
+    "lock.reclaim": (("mgr", "lock", "old_ep", "new_ep"),
+                     "reaper wiped the word and opened a new epoch"),
+    "lock.word": (("mgr", "lock", "word", "ft"),
+                  "a protocol step observed the raw 64-bit lock word"),
+    # -- flow control (repro.transport.flowcontrol) --------------------
+    "flow.credit.take": (("sender", "capacity"),
+                         "credit consumed (one preposted buffer)"),
+    "flow.credit.return": (("sender", "n"),
+                           "n credits returned by the receiver ack"),
+    "flow.ring.reserve": (("sender", "nbytes", "pool"),
+                          "sender reserved ring space for a message"),
+    "flow.ring.free": (("sender", "nbytes"),
+                       "receiver ack freed ring space"),
+    # -- cooperative cache (repro.cache) -------------------------------
+    "cache.hit.local": (("doc",), "served from the proxy's own store"),
+    "cache.hit.remote": (("doc",), "served by one-sided pull from a peer"),
+    "cache.miss": (("doc",), "not cached anywhere reachable"),
+    "cache.admit": (("doc", "size", "used", "capacity"),
+                    "document inserted into a store"),
+    "cache.evict": (("doc", "size"),
+                    "document evicted (capacity or retirement)"),
+    # -- DDSS (repro.ddss) ---------------------------------------------
+    "ddss.get": (("key",), "data-plane get issued"),
+    "ddss.put": (("key",), "data-plane put issued"),
+    "ddss.cache_hit": (("key",),
+                       "get served from the local DELTA/TEMPORAL copy"),
+    "ddss.lock.acquire": (("home", "addr", "token"),
+                          "unit spin-lock CAS succeeded"),
+    "ddss.lock.release": (("home", "addr", "token"),
+                          "unit spin-lock released"),
+    # -- reconfiguration (repro.reconfig) ------------------------------
+    "reconfig.migrate": (("mnode", "frm", "to"),
+                         "node moved between services by load"),
+    "reconfig.evict": (("mnode", "service"),
+                       "dead node evicted from a service"),
+    "reconfig.backfill": (("mnode", "service"),
+                          "donor node backfilled into a starved service"),
+    "reconfig.restore": (("mnode", "service"),
+                         "restarted node restored to a service"),
+    # -- injected faults (repro.faults) --------------------------------
+    "fault.crash": ((), "fail-stop crash of the event's node"),
+    "fault.restart": ((), "crashed node came back (memory intact)"),
+}

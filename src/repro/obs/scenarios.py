@@ -1,0 +1,156 @@
+"""Named demo workloads for the ``repro obs`` CLI subcommand.
+
+Each scenario builds a small cluster, installs :class:`Observability`
+*before* the workload starts (sanitizers shadow protocol state from the
+first event, so mid-run attachment would false-positive), drives a
+representative workload, and returns the populated
+:class:`~repro.obs.Observability` for inspection or JSON export.
+
+All randomness comes from the cluster's seeded streams, so a scenario
+run twice with the same seed produces byte-identical exports — the
+``repro obs`` determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigError
+
+__all__ = ["SCENARIOS", "run_scenario"]
+
+
+def _locks(seed: int, sanitize: bool, strict: bool):
+    """N-CoSED lock traffic: shared/exclusive mix over a few locks."""
+    from ..net import Cluster
+    from ..dlm import LockMode, NCoSEDManager
+
+    cluster = Cluster(n_nodes=6, seed=seed)
+    obs = cluster.observe(sanitize=sanitize, strict=strict)
+    manager = NCoSEDManager(cluster, n_locks=4)
+    env = cluster.env
+    rng = cluster.rng.get("obs-locks")
+
+    def actor(env, client, lock_i, shared, delay, hold):
+        mode = LockMode.SHARED if shared else LockMode.EXCLUSIVE
+        yield env.timeout(delay)
+        yield client.acquire(lock_i, mode)
+        yield env.timeout(hold)
+        yield client.release(lock_i)
+
+    for i in range(18):
+        client = manager.client(cluster.nodes[i % len(cluster.nodes)])
+        env.process(actor(env, client, i % 4, rng.random() < 0.5,
+                          rng.uniform(0.0, 200.0),
+                          rng.uniform(5.0, 50.0)),
+                    name=f"obs-locks-{i}")
+    env.run(until=50_000.0)
+    return obs
+
+
+def _ddss(seed: int, sanitize: bool, strict: bool):
+    """DDSS put/get across all coherence models, plus explicit locks."""
+    from ..net import Cluster
+    from ..ddss import DDSS, Coherence
+
+    cluster = Cluster(n_nodes=4, seed=seed)
+    obs = cluster.observe(sanitize=sanitize, strict=strict)
+    ddss = DDSS(cluster, segment_bytes=64 * 1024)
+    env = cluster.env
+
+    def worker(env, client, model):
+        key = yield client.allocate(256, coherence=model, placement=3)
+        for i in range(4):
+            yield client.put(key, bytes([i]) * 64)
+            yield client.get(key)
+            yield client.get(key)  # second read may hit a client cache
+        yield client.acquire(key)
+        yield env.timeout(5.0)
+        yield client.release(key)
+
+    for i, model in enumerate(Coherence):
+        client = ddss.client(cluster.nodes[1 + i % 3])
+        env.process(worker(env, client, model), name=f"obs-ddss-{i}")
+    env.run(until=100_000.0)
+    return obs
+
+
+def _flow(seed: int, sanitize: bool, strict: bool):
+    """Credit-based vs packetized flow control streams, side by side."""
+    from ..net import Cluster
+    from ..transport import (CreditFlowSender, FlowReceiver,
+                             PacketizedFlowSender)
+
+    cluster = Cluster(n_nodes=3, seed=seed)
+    obs = cluster.observe(sanitize=sanitize, strict=strict)
+    env = cluster.env
+    rx_credit = FlowReceiver(cluster.nodes[1], nbufs=8, buf_bytes=8192)
+    rx_packed = FlowReceiver(cluster.nodes[2], nbufs=8, buf_bytes=8192)
+    env.process(CreditFlowSender(cluster.nodes[0], rx_credit)
+                .stream(60, 512), name="obs-flow-credit")
+    env.process(PacketizedFlowSender(cluster.nodes[0], rx_packed)
+                .stream(60, 512), name="obs-flow-packed")
+    env.run(until=200_000.0)
+    return obs
+
+
+def _chaos(seed: int, sanitize: bool, strict: bool):
+    """Fault-tolerant N-CoSED under crashes + message drop."""
+    from ..net import Cluster
+    from ..faults import FaultPlan
+    from ..dlm import LockMode, NCoSEDManager
+    from ..errors import LockError
+
+    plan = (FaultPlan()
+            .crash(2, at=3_000.0, restart_at=9_000.0)
+            .crash(5, at=5_000.0)
+            .drop_messages(0.01))
+    cluster = Cluster(n_nodes=8, seed=seed)
+    obs = cluster.observe(sanitize=sanitize, strict=strict)
+    cluster.install_faults(plan)
+    manager = NCoSEDManager(cluster, n_locks=4, lease_us=400.0)
+    env = cluster.env
+    rng = cluster.rng.get("obs-chaos")
+
+    def actor(env, client, lock_i, shared, delay, hold):
+        mode = LockMode.SHARED if shared else LockMode.EXCLUSIVE
+        yield env.timeout(delay)
+        try:
+            yield client.acquire(lock_i, mode)
+        except LockError:
+            return
+        yield env.timeout(hold)
+        try:
+            yield client.release(lock_i)
+        except LockError:
+            pass
+
+    for i in range(16):
+        client = manager.client(cluster.nodes[i % len(cluster.nodes)])
+        # long holds so some tenures straddle the crash times and the
+        # reaper's lease reclaim shows up in the trace
+        env.process(actor(env, client, i % 4, rng.random() < 0.4,
+                          rng.uniform(0.0, 8_000.0),
+                          rng.uniform(500.0, 4_000.0)),
+                    name=f"obs-chaos-{i}")
+    env.run(until=30_000.0)
+    return obs
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "locks": _locks,
+    "ddss": _ddss,
+    "flow": _flow,
+    "chaos": _chaos,
+}
+
+
+def run_scenario(name: str, seed: int = 0, sanitize: bool = True,
+                 strict: bool = True):
+    """Run a named scenario; returns its :class:`Observability`."""
+    fn = SCENARIOS.get(name)
+    if fn is None:
+        raise ConfigError(
+            f"unknown obs scenario {name!r}; "
+            f"available: {', '.join(sorted(SCENARIOS))}")
+    return fn(seed, sanitize, strict)

@@ -1,0 +1,80 @@
+"""Ring-buffered structured event tracer.
+
+The tracer is the single funnel every instrumented subsystem emits
+through.  Events land in a bounded ring (old events fall off the back;
+``emitted`` keeps the true total) and are simultaneously pushed to any
+*subscribers* — callables registered for a dotted-type prefix.  The
+protocol sanitizers are subscribers; so are tests that want to watch one
+subsystem without buffering everything.
+
+Emission sites never construct a tracer themselves: they guard on
+``env.obs`` and call ``env.obs.trace.emit(...)`` only when observability
+is installed, so a disabled run pays one attribute load per site.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Tuple
+
+from .events import TraceEvent
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Bounded in-memory trace with prefix-filtered subscriptions."""
+
+    def __init__(self, env, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive: {capacity}")
+        self.env = env
+        self.ring: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        #: (prefix, callback) pairs, notified synchronously in
+        #: registration order — deterministic, like everything else.
+        self._subs: List[Tuple[str, Callable[[TraceEvent], None]]] = []
+
+    # -- emission -------------------------------------------------------
+    def emit(self, etype: str, node: int = -1, **fields: Any) -> TraceEvent:
+        """Record one event at the current simulated time."""
+        ev = TraceEvent(self.env.now, node, etype, fields)
+        self.ring.append(ev)
+        self.emitted += 1
+        for prefix, fn in self._subs:
+            if etype.startswith(prefix):
+                fn(ev)
+        return ev
+
+    # -- subscription ---------------------------------------------------
+    def subscribe(self, fn: Callable[[TraceEvent], None],
+                  prefix: str = "") -> None:
+        """Call ``fn`` for every future event whose type starts with
+        ``prefix`` (empty prefix = everything)."""
+        self._subs.append((prefix, fn))
+
+    def unsubscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        # equality, not identity: a bound method is a fresh object on
+        # every attribute access, but compares equal to itself
+        self._subs = [(p, f) for p, f in self._subs if f != fn]
+
+    # -- queries --------------------------------------------------------
+    def select(self, prefix: str = "", node: int = None) -> List[TraceEvent]:
+        """Buffered events matching a type prefix (and node, if given)."""
+        return [ev for ev in self.ring
+                if ev.etype.startswith(prefix)
+                and (node is None or ev.node == node)]
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered event count by type (sorted for stable output)."""
+        out: Dict[str, int] = {}
+        for ev in self.ring:
+            out[ev.etype] = out.get(ev.etype, 0) + 1
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Tracer emitted={self.emitted} "
+                f"buffered={len(self.ring)}/{self.ring.maxlen}>")

@@ -135,6 +135,7 @@ class ReconfigManager:
             self._evicted.setdefault(node_id, []).append(svc)
             self.evictions.append((self.env.now, node_id, svc.name,
                                    "evict"))
+            self._obs_transition("reconfig.evict", node_id, svc.name)
             self._backfill(svc)
 
     def _backfill(self, svc: Service) -> None:
@@ -154,6 +155,7 @@ class ReconfigManager:
             self._last_moved[node.id] = self.env.now
             self.evictions.append((self.env.now, node.id, svc.name,
                                    "backfill"))
+            self._obs_transition("reconfig.backfill", node.id, svc.name)
 
     def _restore(self, node_id: int) -> None:
         for svc in self._evicted.pop(node_id, []):
@@ -163,6 +165,15 @@ class ReconfigManager:
             svc.add_node(node)
             self.evictions.append((self.env.now, node_id, svc.name,
                                    "restore"))
+            self._obs_transition("reconfig.restore", node_id, svc.name)
+
+    def _obs_transition(self, etype: str, node_id: int,
+                        service: str) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.node.id, mnode=node_id,
+                           service=service)
+            obs.metrics.counter(f"{etype}s").inc()
 
     def _node_dead(self, node_id: int) -> bool:
         return self.detector is not None and self.detector.is_dead(node_id)
@@ -232,6 +243,12 @@ class ReconfigManager:
             self._last_moved[node.id] = self.env.now
             self.migrations.append((self.env.now, node.id,
                                     donor.name, hungry.name))
+            obs = self.env.obs
+            if obs is not None:
+                obs.trace.emit("reconfig.migrate", node=self.node.id,
+                               mnode=node.id, frm=donor.name,
+                               to=hungry.name)
+                obs.metrics.counter("reconfig.migrations").inc()
         finally:
             yield self.node.nic.cas(self.node.id, region.addr,
                                     region.rkey, 1, 0)

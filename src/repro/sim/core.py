@@ -203,8 +203,11 @@ class Process(Event):
             self._ok = False
             self._value = exc
             self.env._queue_event(self)
-            if not self.callbacks:
-                # Nobody is watching this process: surface the crash.
+            if all(getattr(cb, "_obs_passive", False)
+                   for cb in self.callbacks):
+                # Nobody is watching this process (observability
+                # completion probes don't count as watchers): surface
+                # the crash instead of swallowing it.
                 raise
             return
         if not isinstance(nxt, Event):
@@ -273,6 +276,13 @@ class AllOf(_Condition):
 
 class Environment:
     """The simulation clock and agenda."""
+
+    #: Observability handle (:class:`repro.obs.Observability`), installed
+    #: by ``Observability.install()``.  ``None`` means tracing/metrics are
+    #: off: every emission site guards on this attribute, the same inert
+    #: pattern :class:`repro.faults.FaultInjector` uses on the fabric, so
+    #: a disabled run pays one attribute load per hook and nothing else.
+    obs = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

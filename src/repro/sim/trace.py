@@ -9,18 +9,36 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["Tally", "TimeSeries", "TimeWeighted", "percentile"]
+__all__ = ["Tally", "TimeSeries", "TimeWeighted", "percentile", "rank_of"]
+
+
+def rank_of(q: float, n: int) -> int:
+    """Nearest-rank index for percentile ``q`` over ``n`` observations.
+
+    The single rank rule shared by :func:`percentile` (exact, sorted
+    samples) and :meth:`repro.obs.metrics.LatencyHistogram.percentile`
+    (log-bucketed counts), so benches and the observability layer report
+    identical quantiles for identical data.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    if n <= 0:
+        raise ValueError("percentile of empty sequence")
+    return max(0, min(n - 1, math.ceil(q / 100 * n) - 1))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence.
+
+    NaN inputs are rejected: NaN is unordered, so ``sorted`` would place
+    it arbitrarily and silently corrupt every quantile after it.
+    """
     if not values:
         raise ValueError("percentile of empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile out of range: {q}")
+    if any(math.isnan(v) for v in values):
+        raise ValueError("percentile of sequence containing NaN")
     ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
-    return ordered[rank]
+    return ordered[rank_of(q, len(ordered))]
 
 
 class Tally:
@@ -35,6 +53,11 @@ class Tally:
         self.max = -math.inf
 
     def add(self, x: float) -> None:
+        if math.isnan(x):
+            # A NaN observation would poison mean/variance forever and
+            # make min/max comparisons silently false; refuse it here,
+            # at the boundary, where the caller can still see why.
+            raise ValueError(f"NaN observation in tally {self.name!r}")
         self.count += 1
         delta = x - self._mean
         self._mean += delta / self.count
@@ -43,6 +66,33 @@ class Tally:
             self.min = x
         if x > self.max:
             self.max = x
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Fold ``other``'s observations into this tally (in place).
+
+        Uses the parallel variance combination (Chan et al.), so merging
+        per-shard tallies yields the same count/mean/variance as one
+        tally over the union.  Merging an empty tally — either side — is
+        a no-op on the statistics; ``self`` is returned for chaining.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
 
     @property
     def mean(self) -> float:

@@ -69,6 +69,17 @@ class CreditFlowSender:
         t0 = env.now
         inflight = Store(env)
 
+        sender_id = self.node.id
+        capacity = self.receiver.nbufs
+
+        def credits_back(n: int) -> None:
+            for _ in range(n):
+                self._credits.release()
+            obs = env.obs
+            if obs is not None:
+                obs.trace.emit("flow.credit.return", node=sender_id,
+                               sender=sender_id, n=n)
+
         def rx_side():
             """Receiver app: drain arrivals, return credits in batches."""
             acked = 0
@@ -86,14 +97,16 @@ class CreditFlowSender:
                     ret = fabric.transfer(rnode.id, self.node.id,
                                           fabric.params.header_bytes)
                     n = acked
-                    ret.add_callback(
-                        lambda _ev, n=n: [self._credits.release()
-                                          for _ in range(n)])
+                    ret.add_callback(lambda _ev, n=n: credits_back(n))
                     acked = 0
 
         env.process(rx_side(), name="credit-rx")
         for _ in range(n_msgs):
             yield self._credits.acquire()
+            obs = env.obs
+            if obs is not None:
+                obs.trace.emit("flow.credit.take", node=sender_id,
+                               sender=sender_id, capacity=capacity)
             # every message occupies one whole preposted buffer slot
             done = fabric.transfer(self.node.id, rnode.id,
                                    msg_bytes + fabric.params.header_bytes)
@@ -127,6 +140,16 @@ class PacketizedFlowSender:
         # packed wire footprint: payload + a small per-message header
         footprint = msg_bytes + 8
 
+        sender_id = self.node.id
+        pool = self.receiver.pool_bytes
+
+        def space_back(f: int) -> None:
+            space_freed.try_put(f)
+            obs = env.obs
+            if obs is not None:
+                obs.trace.emit("flow.ring.free", node=sender_id,
+                               sender=sender_id, nbytes=f)
+
         def rx_side():
             drained = 0
             freed = 0
@@ -141,8 +164,7 @@ class PacketizedFlowSender:
                     ret = fabric.transfer(rnode.id, self.node.id,
                                           p.header_bytes)
                     f = freed
-                    ret.add_callback(
-                        lambda _ev, f=f: space_freed.try_put(f))
+                    ret.add_callback(lambda _ev, f=f: space_back(f))
                     drained = 0
                     freed = 0
 
@@ -151,6 +173,11 @@ class PacketizedFlowSender:
             while self._free < footprint:
                 self._free += yield space_freed.get()
             self._free -= footprint
+            obs = env.obs
+            if obs is not None:
+                obs.trace.emit("flow.ring.reserve", node=sender_id,
+                               sender=sender_id, nbytes=footprint,
+                               pool=pool)
             # sender-managed RDMA write straight into the packed ring
             done = fabric.transfer(self.node.id, rnode.id,
                                    footprint + p.header_bytes)

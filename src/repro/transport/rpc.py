@@ -114,10 +114,12 @@ class RpcServer:
                     # Duplicate (client retry): replay the recorded
                     # response without re-executing the handler.
                     self.dup_requests += 1
+                    self._obs_serve("rpc.dup_request", request.rid)
                     response, size = cached
                     yield conn.send(_RpcReply(request.rid, response),
                                     size=size)
                     continue
+                self._obs_serve("rpc.execute", request.rid)
                 response, size, work_us = self.handler(request.payload)
                 if work_us:
                     yield self.node.cpu.run(work_us,
@@ -125,12 +127,20 @@ class RpcServer:
                 self._remember(request.rid, response, size)
                 yield conn.send(_RpcReply(request.rid, response), size=size)
             else:
+                self._obs_serve("rpc.execute", None)
                 response, size, work_us = self.handler(request)
                 if work_us:
                     yield self.node.cpu.run(work_us,
                                             name=f"{self.name}-handler")
                 yield conn.send(response, size=size)
             self.requests_served += 1
+
+    def _obs_serve(self, etype: str, rid) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.node.id, rid=rid,
+                           server=f"{self.node.id}:{self.port}")
+            obs.metrics.counter(f"{etype}s", node=self.node.id).inc()
 
     def _remember(self, rid: int, response: Any, size: int) -> None:
         self._seen[rid] = (response, size)
@@ -170,13 +180,33 @@ class RpcChannel:
             raise ConfigError("backoff factor must be >= 1.0")
         self.calls += 1
         if timeout_us is None and not self._pump_on:
-            return self.env.process(self._call_proc(payload, size),
-                                    name="rpc-call")
-        # Once the reply pump owns conn.recv(), every call (deadline or
-        # not) must go through the enveloped path.
-        return self.env.process(
-            self._reliable_proc(payload, size, timeout_us, retries, backoff),
-            name="rpc-call")
+            ev = self.env.process(self._call_proc(payload, size),
+                                  name="rpc-call")
+        else:
+            # Once the reply pump owns conn.recv(), every call (deadline
+            # or not) must go through the enveloped path.
+            ev = self.env.process(
+                self._reliable_proc(payload, size, timeout_us, retries,
+                                    backoff),
+                name="rpc-call")
+        obs = self.env.obs
+        if obs is not None:
+            self._obs_call(obs, ev)
+        return ev
+
+    def _obs_call(self, obs, ev) -> None:
+        node = self.conn.node.id
+        obs.metrics.counter("rpc.calls", node=node).inc()
+        t0 = self.env.now
+
+        def done(e):
+            if e.ok:
+                us = self.env.now - t0
+                obs.metrics.histogram("rpc.call_us").observe(us)
+                obs.metrics.histogram("rpc.call_us", node=node).observe(us)
+
+        done._obs_passive = True
+        ev.add_callback(done)
 
     def _call_proc(self, payload, size):
         yield self.conn.send(payload, size=size)
@@ -212,7 +242,12 @@ class RpcChannel:
         reply = self.env.event()
         self._waiting[rid] = reply
         deadline_us = timeout_us
+        node = self.conn.node.id
         for attempt in range(retries + 1):
+            obs = self.env.obs
+            if obs is not None:
+                obs.trace.emit("rpc.retry" if attempt else "rpc.attempt",
+                               node=node, rid=rid, attempt=attempt)
             yield self.conn.send(request, size=size)
             if timeout_us is None:
                 return (yield reply)
@@ -222,6 +257,10 @@ class RpcChannel:
             self.timeouts += 1
             deadline_us *= backoff
         self._waiting.pop(rid, None)
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("rpc.timeout", node=node, rid=rid)
+            obs.metrics.counter("rpc.timeouts", node=node).inc()
         raise TimeoutError(
             f"rpc {rid} to node {self.conn.peer_node}: no reply after "
             f"{retries + 1} attempt(s)")
