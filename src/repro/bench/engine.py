@@ -1,0 +1,246 @@
+"""Wall-clock engine benchmarks + the CI perf gate.
+
+Unlike the figure runners (which report *simulated* microseconds), this
+suite measures how fast the simulator itself executes on the host:
+
+* ``events``       — raw kernel throughput (agenda entries / second) on
+                     an interleaved-timer workload.
+* ``small_verbs``  — one-sided small-verb round trips / second on a
+                     2-node InfiniBand cluster; also re-runs the same
+                     workload with the naive kernel paths
+                     (``REPRO_SLOW_KERNEL=1`` semantics) to report
+                     ``speedup_vs_slow`` and assert both modes agree on
+                     the final simulated clock.
+* ``lock_ops``     — N-CoSED exclusive acquire/release pairs / second.
+* ``scenario_ddss``— wall seconds for the packaged ``ddss``
+                     observability scenario end to end (tracing,
+                     metrics and sanitizers on).
+
+``run_suite`` returns a JSON-ready dict; the ``repro bench`` subcommand
+writes it to ``BENCH_engine.json`` plus a timestamped copy under
+``benchmarks/results/``, and ``check_regression`` implements the CI
+gate: fail when a guarded rate drops more than 25 % below the committed
+baseline (missing baseline ⇒ gate skipped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["run_suite", "check_regression", "write_report",
+           "GUARDED_RATES", "DEFAULT_RESULT", "RESULTS_DIR"]
+
+#: canonical result file (repo root) — doubles as the committed baseline
+DEFAULT_RESULT = "BENCH_engine.json"
+#: per-run archive directory
+RESULTS_DIR = os.path.join("benchmarks", "results")
+
+#: ``results.<bench>.<key>`` rates the CI gate guards against regression
+GUARDED_RATES = (
+    ("events", "events_per_sec"),
+    ("small_verbs", "verbs_per_sec"),
+    ("lock_ops", "ops_per_sec"),
+)
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+def _bench_events(n_events: int) -> Dict[str, object]:
+    """Kernel-only: four interleaved timer processes, no net layer."""
+    from repro.sim import Environment
+
+    env = Environment()
+    per_proc = n_events // 4
+
+    def ticker(env, period):
+        for _ in range(per_proc):
+            yield env.timeout(period)
+
+    for period in (1.0, 2.5, 3.0, 7.0):
+        env.process(ticker(env, period))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    fired = 4 * per_proc
+    return {
+        "n": fired,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(fired / wall, 1),
+    }
+
+
+def _verb_workload(n_iters: int, slow: bool):
+    """The small-verb loop: cas + faa + read + write per iteration."""
+    from repro.net import Cluster
+
+    if slow:
+        prev = os.environ.get("REPRO_SLOW_KERNEL")
+        os.environ["REPRO_SLOW_KERNEL"] = "1"
+    try:
+        cluster = Cluster(n_nodes=2, seed=0)
+    finally:
+        if slow:
+            if prev is None:
+                del os.environ["REPRO_SLOW_KERNEL"]
+            else:
+                os.environ["REPRO_SLOW_KERNEL"] = prev
+    region = cluster.nodes[1].memory.register(4096, name="bench")
+    key = region.remote_key()
+    nic = cluster.nodes[0].nic
+    env = cluster.env
+
+    def client(env):
+        for _ in range(n_iters):
+            yield nic.cas_key(key, 0, 0, 1)
+            yield nic.faa_key(key, 8, 1)
+            yield nic.read_key(key, 16, 8)
+            yield nic.write_key(key, b"12345678", 24)
+
+    env.process(client(env))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return 4 * n_iters / wall, env.now
+
+
+def _bench_small_verbs(n_iters: int) -> Dict[str, object]:
+    """Verb round trips per second, fast kernel vs naive kernel.
+
+    ``REPRO_SLOW_KERNEL`` is read per Environment at construction, so
+    both modes run in this process; ``sim_now_match`` certifies they
+    finished at the identical simulated instant (the cheap half of the
+    equivalence bar — the byte-identical-export half lives in
+    ``tests/sim/test_fastpath.py``).
+    """
+    fast_rate, fast_now = _verb_workload(n_iters, slow=False)
+    slow_rate, slow_now = _verb_workload(n_iters, slow=True)
+    return {
+        "n": 4 * n_iters,
+        "verbs_per_sec": round(fast_rate, 1),
+        "verbs_per_sec_slow": round(slow_rate, 1),
+        "speedup_vs_slow": round(fast_rate / slow_rate, 2),
+        "sim_now_match": fast_now == slow_now,
+    }
+
+
+def _bench_lock_ops(n_ops: int) -> Dict[str, object]:
+    """N-CoSED exclusive acquire/release pairs per second (4 clients)."""
+    from repro.net import Cluster, NetworkParams
+    from repro.dlm import LockMode, NCoSEDManager
+
+    cluster = Cluster(n_nodes=5, params=NetworkParams.infiniband(),
+                      seed=0)
+    manager = NCoSEDManager(cluster, n_locks=16)
+    env = cluster.env
+    per_client = n_ops // 4
+
+    def worker(env, client, lock_id):
+        for _ in range(per_client):
+            yield client.acquire(lock_id, LockMode.EXCLUSIVE)
+            yield client.release(lock_id)
+
+    for i in range(4):
+        # distinct locks: measures the uncontended verb path, not
+        # queueing policy (cascades are Fig 5's subject)
+        env.process(worker(env, manager.client(cluster.nodes[i + 1]), i))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    done = 4 * per_client
+    return {
+        "n": done,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(done / wall, 1),
+    }
+
+
+def _bench_scenario() -> Dict[str, object]:
+    """End-to-end wall time of the packaged ``ddss`` obs scenario."""
+    from repro.obs.scenarios import run_scenario
+
+    t0 = time.perf_counter()
+    obs = run_scenario("ddss", seed=0, sanitize=True, strict=False)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 4),
+        "sim_us": obs.env.now,
+        "trace_events": obs.trace.emitted,
+    }
+
+
+# ---------------------------------------------------------------------------
+# suite driver
+# ---------------------------------------------------------------------------
+
+def run_suite(quick: bool = False) -> Dict[str, object]:
+    """Run every engine benchmark; returns the JSON-ready report."""
+    scale = 1 if quick else 4
+    return {
+        "schema": 1,
+        "suite": "engine",
+        "quick": quick,
+        "python": platform.python_version(),
+        "results": {
+            "events": _bench_events(100_000 * scale),
+            "small_verbs": _bench_small_verbs(5_000 * scale),
+            "lock_ops": _bench_lock_ops(2_000 * scale),
+            "scenario_ddss": _bench_scenario(),
+        },
+    }
+
+
+def check_regression(current: Dict[str, object],
+                     baseline: Optional[Dict[str, object]],
+                     threshold: float = 0.25) -> List[str]:
+    """CI gate: guarded rates must stay within ``threshold`` of baseline.
+
+    Returns human-readable failure lines (empty = pass).  A ``None`` or
+    structurally alien baseline skips the gate — first runs and schema
+    bumps must not brick CI.
+    """
+    if not isinstance(baseline, dict):
+        return []
+    base_results = baseline.get("results")
+    cur_results = current.get("results", {})
+    if not isinstance(base_results, dict):
+        return []
+    failures = []
+    for bench, key in GUARDED_RATES:
+        base = base_results.get(bench, {})
+        cur = cur_results.get(bench, {})
+        if not (isinstance(base, dict) and isinstance(cur, dict)):
+            continue
+        b, c = base.get(key), cur.get(key)
+        if not (isinstance(b, (int, float)) and isinstance(c, (int, float))
+                and b > 0):
+            continue
+        if c < b * (1.0 - threshold):
+            failures.append(
+                f"{bench}.{key}: {c:,.0f}/s is "
+                f"{(1 - c / b) * 100:.1f}% below baseline {b:,.0f}/s "
+                f"(threshold {threshold * 100:.0f}%)")
+    return failures
+
+
+def write_report(report: Dict[str, object], out_path: str,
+                 results_dir: Optional[str] = RESULTS_DIR) -> List[str]:
+    """Write ``out_path`` plus a timestamped archive copy; returns paths."""
+    paths = []
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    paths.append(out_path)
+    if results_dir is not None:
+        os.makedirs(results_dir, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        archive = os.path.join(results_dir, f"engine-{stamp}.json")
+        with open(archive, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths.append(archive)
+    return paths

@@ -290,6 +290,50 @@ def _obs_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# engine benchmark subcommand
+# ---------------------------------------------------------------------------
+
+def _bench_main(args) -> int:
+    import json
+
+    from repro.bench.engine import (RESULTS_DIR, check_regression,
+                                    run_suite, write_report)
+
+    report = run_suite(quick=args.quick)
+    res = report["results"]
+    print(f"engine bench ({'quick' if args.quick else 'full'}):")
+    print(f"  events       {res['events']['events_per_sec']:>12,.0f} /s")
+    sv = res["small_verbs"]
+    print(f"  small verbs  {sv['verbs_per_sec']:>12,.0f} /s   "
+          f"({sv['speedup_vs_slow']:.2f}x vs REPRO_SLOW_KERNEL, "
+          f"sim clocks {'match' if sv['sim_now_match'] else 'DIVERGE'})")
+    print(f"  lock ops     {res['lock_ops']['ops_per_sec']:>12,.0f} /s")
+    print(f"  ddss scenario {res['scenario_ddss']['wall_s']:>10.3f} s wall")
+    if not sv["sim_now_match"]:
+        print("FATAL: fast and slow kernels disagree on simulated time",
+              file=sys.stderr)
+        return 1
+    for path in write_report(report, args.out,
+                             None if args.no_archive else RESULTS_DIR):
+        print(f"wrote {path}")
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError):
+            print(f"no usable baseline at {args.baseline}; "
+                  f"regression gate skipped")
+            return 0
+        failures = check_regression(report, baseline)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("regression gate passed (>25% drop would fail)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -314,7 +358,24 @@ def main(argv=None) -> int:
                       help="write the deterministic JSON export here")
     obsp.add_argument("--no-sanitize", action="store_true",
                       help="trace + metrics only, no invariant checks")
+    benchp = sub.add_parser(
+        "bench", help="wall-clock engine benchmarks "
+                      "(events/s, verbs/s, lock ops/s) + perf gate")
+    benchp.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI-sized)")
+    benchp.add_argument("--out", metavar="PATH",
+                        default="BENCH_engine.json",
+                        help="result file (default: BENCH_engine.json)")
+    benchp.add_argument("--baseline", metavar="PATH", default=None,
+                        help="compare against this report; exit 1 when a "
+                             "guarded rate regresses >25%% (missing file "
+                             "skips the gate)")
+    benchp.add_argument("--no-archive", action="store_true",
+                        help="skip the benchmarks/results/ archive copy")
     args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        return _bench_main(args)
 
     if args.command == "obs":
         return _obs_main(args)

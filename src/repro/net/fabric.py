@@ -34,6 +34,16 @@ class Fabric:
         self.params = params
         self._nodes: Dict[int, "Node"] = {}
         self._egress: Dict[int, Resource] = {}
+        #: per-node count of slow-path transfers past ``nic_tx`` but not
+        #: yet holding the egress link.  While non-zero the analytic
+        #: shortcut must stand down, otherwise a later transfer could
+        #: reserve the link ahead of an earlier in-flight one and break
+        #: fast/slow equivalence (DESIGN.md §9).
+        self._pre_acquire: Dict[int, int] = {}
+        #: cached observability counter handles, invalidated when the
+        #: installed Observability changes (string-keyed registry
+        #: lookups are too hot to repeat per transfer).
+        self._obs_cache: Optional[tuple] = None
         self.bytes_moved = 0
         self.transfers = 0
         #: installed by :class:`repro.faults.FaultInjector`; None in
@@ -46,6 +56,7 @@ class Fabric:
             raise ConfigError(f"node id {node.id} already attached")
         self._nodes[node.id] = node
         self._egress[node.id] = Resource(self.env, capacity=1)
+        self._pre_acquire[node.id] = 0
 
     def node(self, node_id: int) -> "Node":
         try:
@@ -76,14 +87,89 @@ class Fabric:
         self.bytes_moved += nbytes
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.counter("fabric.transfers").inc()
-            obs.metrics.counter("fabric.bytes").inc(nbytes)
+            self._obs_transfer(obs, nbytes)
         if src_id == dst_id:
             return self.env.timeout(self.params.local_op_us)
+        if self.env.fastpath and self.injector is None:
+            arrive_at = self._fast_arrival(src_id, nbytes)
+            if arrive_at >= 0.0:
+                done = Event(self.env)
+                self.env._schedule_at(arrive_at, done, value=None)
+                return done
+        self._pre_acquire[src_id] += 1
         return self.env.process(
             self._transfer_proc(src_id, dst_id, nbytes),
             name=f"xfer-{src_id}->{dst_id}",
         )
+
+    def _fast_arrival(self, src_id: int, nbytes: int) -> float:
+        """Reserve ``src``'s egress link for the serialization window and
+        return the absolute arrival instant, or -1.0 when contended.
+
+        The whole 4-yield transfer process collapses into a single
+        scheduled instant: the link reservation expires at exactly
+        ``(now + nic_tx) + serialization`` — when the slow path's
+        ``release()`` would run — so transfers arriving meanwhile queue
+        identically (:meth:`Resource.try_reserve`).  The additions keep
+        the slow path's association order: it computes
+        ``(now + nic_tx) + serialization`` across two Timeouts, and
+        float addition is not associative — byte-identical equivalence
+        requires the same order.
+        """
+        if self._pre_acquire[src_id] != 0:
+            return -1.0
+        env = self.env
+        p = self.params
+        released_at = (env._now + p.nic_tx_us) + p.serialization_us(nbytes)
+        if not self._egress[src_id].try_reserve(released_at):
+            return -1.0
+        return released_at + (p.wire_latency_us + p.nic_rx_us)
+
+    def fast_send(self, src_id: int, dst_id: int, nbytes: int) -> float:
+        """Event-free transfer for the NIC verb fast path.
+
+        Returns the absolute time the payload lands at ``dst_id`` (the
+        caller schedules its own continuation there), or -1.0 when the
+        egress link is contended — then nothing was counted and the
+        caller must fall back to :meth:`send_process`.  Callers
+        guarantee ``env.fastpath`` is on, the injector is absent and
+        both node ids are valid — the verb layer checked already.
+        """
+        if src_id == dst_id:
+            arrive_at = self.env._now + self.params.local_op_us
+        else:
+            arrive_at = self._fast_arrival(src_id, nbytes)
+            if arrive_at < 0.0:
+                return -1.0
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        obs = self.env.obs
+        if obs is not None:
+            self._obs_transfer(obs, nbytes)
+        return arrive_at
+
+    def send_process(self, src_id: int, dst_id: int, nbytes: int,
+                     arrive) -> None:
+        """Contended fallback for :meth:`fast_send`: a generator
+        transfer with ``arrive()`` called at the arrival instant."""
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        obs = self.env.obs
+        if obs is not None:
+            self._obs_transfer(obs, nbytes)
+        self._pre_acquire[src_id] += 1
+        ev = self.env.process(self._transfer_proc(src_id, dst_id, nbytes),
+                              name=f"xfer-{src_id}->{dst_id}")
+        ev.callbacks.append(lambda _e: arrive())
+
+    def _obs_transfer(self, obs, nbytes: int) -> None:
+        cache = self._obs_cache
+        if cache is None or cache[0] is not obs:
+            m = obs.metrics
+            cache = self._obs_cache = (
+                obs, m.counter("fabric.transfers"), m.counter("fabric.bytes"))
+        cache[1].inc()
+        cache[2].inc(nbytes)
 
     def _transfer_proc(self, src_id: int, dst_id: Optional[int],
                        nbytes: int):
@@ -92,7 +178,9 @@ class Fabric:
                   if self.injector is not None else 1.0)
         yield self.env.timeout(p.nic_tx_us)
         link = self._egress[src_id]
-        yield link.acquire()
+        grant = link.acquire()
+        self._pre_acquire[src_id] -= 1
+        yield grant
         try:
             yield self.env.timeout(p.serialization_us(nbytes) * factor)
         finally:
@@ -129,8 +217,14 @@ class Fabric:
         self.bytes_moved += nbytes  # injected once, replicated in-switch
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.counter("fabric.transfers").inc()
-            obs.metrics.counter("fabric.bytes").inc(nbytes)
+            self._obs_transfer(obs, nbytes)
+        if self.env.fastpath and self.injector is None:
+            arrive_at = self._fast_arrival(src_id, nbytes)
+            if arrive_at >= 0.0:
+                done = Event(self.env)
+                self.env._schedule_at(arrive_at, done, value=None)
+                return done
+        self._pre_acquire[src_id] += 1
         return self.env.process(self._transfer_proc(src_id, None, nbytes),
                                 name=f"mcast-{src_id}")
 

@@ -24,9 +24,13 @@ __all__ = ["MemoryRegion", "MemoryManager", "RemoteKey"]
 _U64_MASK = (1 << 64) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteKey:
-    """Serializable descriptor of a remote memory window."""
+    """Serializable descriptor of a remote memory window.
+
+    Slotted: the ``*_key`` verb helpers mint a sub-window per call, so
+    these are a hot allocation in key-addressed workloads.
+    """
 
     node: int
     addr: int

@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Message", "NIC"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A delivered two-sided message.
 
@@ -43,6 +43,10 @@ class Message:
     environment's own id stream, so two simulations in one process never
     share a counter).  A duplicated delivery reuses the same ``mid``,
     which is what receiver-side dedup keys on.
+
+    Slotted: messages are the highest-volume allocation in two-sided
+    workloads, and slots cut both the per-instance dict and ~40% of the
+    allocation cost.
     """
 
     src: int
@@ -55,6 +59,120 @@ class Message:
     mid: int = 0
 
 
+class _FastVerb:
+    """One one-sided verb on the fault-free fast path.
+
+    Callback-chain twin of ``NIC._read_proc`` / ``_write_proc`` /
+    ``_atomic_proc``: no generator, no :class:`~repro.sim.Process`, no
+    per-stage Event.  An uncontended verb costs exactly three agenda
+    entries — *posted* (reserve the egress link, schedule the remote
+    service instant), *serve* (touch remote memory, reserve the return
+    link), and the completion event itself, scheduled directly at the
+    response's arrival instant via ``Fabric.fast_send``.  Each instant
+    is computed with the same float association order the generator
+    version's chained Timeouts would produce, so fast and
+    ``REPRO_SLOW_KERNEL=1`` runs stay equivalent.  A contended link
+    drops that leg back onto the generator transfer process
+    (``Fabric.send_process``) without losing the chain.  Only valid
+    when ``env.fastpath`` is on and no fault injector is installed (no
+    failure branches exist then, apart from memory-protection errors
+    which propagate with process-crash semantics).
+    """
+
+    __slots__ = ("nic", "dst", "op", "addr", "rkey", "arg1", "arg2",
+                 "wire", "done")
+
+    def __init__(self, nic: "NIC", dst: int, op: str, addr: int,
+                 rkey: int, arg1, arg2, wire: int):
+        self.nic = nic
+        self.dst = dst
+        self.op = op
+        self.addr = addr
+        self.rkey = rkey
+        self.arg1 = arg1
+        self.arg2 = arg2
+        self.wire = wire
+        env = nic.env
+        self.done = Event(env)
+        env._schedule_call(env._now + nic.params.post_us, self._posted)
+
+    def _posted(self) -> None:
+        nic = self.nic
+        fabric = nic.fabric
+        if self.dst not in fabric._nodes:
+            # Same failure instant and semantics as the slow path, where
+            # Fabric.transfer raises inside the verb process.
+            nic._fail_verb(self.done, ConfigError(
+                f"transfer between unknown nodes "
+                f"{nic.node.id}->{self.dst}"))
+            return
+        p = nic.params
+        op = self.op
+        if op == "write":
+            nbytes = self.wire + p.header_bytes
+        else:
+            nbytes = p.header_bytes
+        t = fabric.fast_send(nic.node.id, self.dst, nbytes)
+        if t < 0.0:
+            fabric.send_process(nic.node.id, self.dst, nbytes,
+                                self._arrived)
+            return
+        # Fold the NIC turnaround / atomic-unit delay into the same
+        # entry: the slow path schedules it from the arrival instant, so
+        # ``t + delay`` is the identical float.
+        if op == "read":
+            t += p.rdma_turnaround_us
+        elif op != "write":  # writes land on arrival; no turnaround
+            t += p.atomic_exec_us
+        nic.env._schedule_call(t, self._serve)
+
+    def _arrived(self) -> None:
+        # Contended-request continuation: apply the turnaround from the
+        # actual arrival instant, exactly like the generator's Timeout.
+        nic = self.nic
+        op = self.op
+        if op == "write":
+            self._serve()
+            return
+        env = nic.env
+        delay = (nic.params.rdma_turnaround_us if op == "read"
+                 else nic.params.atomic_exec_us)
+        env._schedule_call(env._now + delay, self._serve)
+
+    def _serve(self) -> None:
+        nic = self.nic
+        fabric = nic.fabric
+        mem = fabric._nodes[self.dst].memory
+        op = self.op
+        try:
+            if op == "read":
+                value = mem.rdma_read(self.addr, self.rkey, self.arg1)
+            elif op == "write":
+                mem.rdma_write(self.addr, self.rkey, self.arg1)
+                value = None
+            elif op == "cas":
+                value = mem.cas64(self.addr, self.rkey, self.arg1,
+                                  self.arg2)
+            else:
+                value = mem.faa64(self.addr, self.rkey, self.arg1)
+        except BaseException as exc:
+            nic._fail_verb(self.done, exc)
+            return
+        p = nic.params
+        nbytes = (self.wire + p.header_bytes if op == "read"
+                  else p.header_bytes)
+        t = fabric.fast_send(self.dst, nic.node.id, nbytes)
+        if t < 0.0:
+            self.arg2 = value  # carried to _complete
+            fabric.send_process(self.dst, nic.node.id, nbytes,
+                                self._complete)
+            return
+        nic.env._schedule_at(t, self.done, value=value)
+
+    def _complete(self) -> None:
+        self.done.succeed(self.arg2)
+
+
 class NIC:
     """Verbs interface of one node."""
 
@@ -64,6 +182,8 @@ class NIC:
         self.fabric = fabric
         self.params = fabric.params
         self._recv_queues: Dict[Any, Store] = {}
+        # cached observability handles (see Fabric._obs_transfer)
+        self._obs_send_cache = None
         # counters (exposed for benches / tests)
         self.sends = 0
         self.rdma_reads = 0
@@ -195,7 +315,11 @@ class NIC:
         if obs is not None:
             obs.trace.emit("msg.send", node=msg.src, dst=msg.dst,
                            size=msg.size, mid=msg.mid)
-            obs.metrics.counter("nic.sends", node=msg.src).inc()
+            cache = self._obs_send_cache
+            if cache is None or cache[0] is not obs:
+                cache = self._obs_send_cache = (
+                    obs, obs.metrics.counter("nic.sends", node=self.node.id))
+            cache[1].inc()
 
     def _obs_delivery(self, msg: Message, copies: int) -> None:
         """Observability hook: delivery outcome at the receiver."""
@@ -217,11 +341,19 @@ class NIC:
         return self._queue(tag).get()
 
     def try_recv(self, tag: Any = 0):
-        """Non-blocking receive; returns ``(ok, message_or_None)``."""
-        return self._queue(tag).try_get()
+        """Non-blocking receive; returns ``(ok, message_or_None)``.
+
+        Probing a tag that never received a message does not create its
+        queue — polling loops over sparse tag spaces stay allocation-free.
+        """
+        q = self._recv_queues.get(tag)
+        if q is None:
+            return False, None
+        return q.try_get()
 
     def pending(self, tag: Any = 0) -> int:
-        return len(self._queue(tag))
+        q = self._recv_queues.get(tag)
+        return 0 if q is None else len(q)
 
     # ------------------------------------------------------------------
     # one-sided memory semantics
@@ -238,13 +370,18 @@ class NIC:
         wire = length if wire_bytes is None else wire_bytes
         if wire < length:
             raise ConfigError("wire_bytes smaller than read length")
-        ev = self.env.process(
-            self._read_proc(dst_id, addr, rkey, length, wire),
-            name=f"rdma-read@{self.node.id}")
+        if self.env.fastpath and self.fabric.injector is None:
+            ev = _FastVerb(self, dst_id, "read", addr, rkey,
+                           length, None, wire).done
+        else:
+            ev = self.env.process(
+                self._read_proc(dst_id, addr, rkey, length, wire),
+                name=f"rdma-read@{self.node.id}")
         obs = self.env.obs
         if obs is not None:
             obs.verb(self, "read", dst_id, wire, ev)
         return ev
+
 
     def _read_proc(self, dst_id, addr, rkey, length, wire):
         p = self.params
@@ -267,13 +404,21 @@ class NIC:
         wire = len(data) if wire_bytes is None else wire_bytes
         if wire < len(data):
             raise ConfigError("wire_bytes smaller than payload")
-        ev = self.env.process(
-            self._write_proc(dst_id, addr, rkey, bytes(data), wire),
-            name=f"rdma-write@{self.node.id}")
+        if type(data) is not bytes:
+            # Immutable callers (the common case) skip the defensive copy.
+            data = bytes(data)
+        if self.env.fastpath and self.fabric.injector is None:
+            ev = _FastVerb(self, dst_id, "write", addr, rkey,
+                           data, None, wire).done
+        else:
+            ev = self.env.process(
+                self._write_proc(dst_id, addr, rkey, data, wire),
+                name=f"rdma-write@{self.node.id}")
         obs = self.env.obs
         if obs is not None:
             obs.verb(self, "write", dst_id, wire, ev)
         return ev
+
 
     def _write_proc(self, dst_id, addr, rkey, data, wire):
         p = self.params
@@ -291,9 +436,13 @@ class NIC:
         """Remote compare-and-swap on a 64-bit word; value = old word."""
         self._need_rdma()
         self.atomics += 1
-        ev = self.env.process(
-            self._atomic_proc(dst_id, addr, rkey, "cas", compare, swap),
-            name=f"cas@{self.node.id}")
+        if self.env.fastpath and self.fabric.injector is None:
+            ev = _FastVerb(self, dst_id, "cas", addr, rkey,
+                           compare, swap, 8).done
+        else:
+            ev = self.env.process(
+                self._atomic_proc(dst_id, addr, rkey, "cas", compare, swap),
+                name=f"cas@{self.node.id}")
         obs = self.env.obs
         if obs is not None:
             obs.verb(self, "cas", dst_id, 8, ev)
@@ -303,13 +452,28 @@ class NIC:
         """Remote fetch-and-add on a 64-bit word; value = old word."""
         self._need_rdma()
         self.atomics += 1
-        ev = self.env.process(
-            self._atomic_proc(dst_id, addr, rkey, "faa", add, 0),
-            name=f"faa@{self.node.id}")
+        if self.env.fastpath and self.fabric.injector is None:
+            ev = _FastVerb(self, dst_id, "faa", addr, rkey,
+                           add, 0, 8).done
+        else:
+            ev = self.env.process(
+                self._atomic_proc(dst_id, addr, rkey, "faa", add, 0),
+                name=f"faa@{self.node.id}")
         obs = self.env.obs
         if obs is not None:
             obs.verb(self, "faa", dst_id, 8, ev)
         return ev
+
+    def _fail_verb(self, done: Event, exc: BaseException) -> None:
+        """Fail a fast-path verb with process-crash semantics: the event
+        fails (callers that yielded it get the exception thrown in) and,
+        exactly like an unwatched Process, the crash re-raises when only
+        passive observability probes are attached."""
+        done._ok = False
+        done._value = exc
+        self.env._queue_event(done)
+        if all(getattr(cb, "_obs_passive", False) for cb in done.callbacks):
+            raise exc
 
     def _atomic_proc(self, dst_id, addr, rkey, op, a, b):
         p = self.params

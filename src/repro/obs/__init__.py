@@ -79,6 +79,9 @@ class Observability:
         self.env = env
         self.trace = Tracer(env, capacity=ring)
         self.metrics = MetricsRegistry(env)
+        #: (op, node) -> (cluster histogram, per-node histogram); avoids
+        #: two string-keyed registry lookups per verb completion.
+        self._verb_hists: Dict[tuple, tuple] = {}
         self.sanitizers: Dict[str, Sanitizer] = {}
         if sanitize:
             for cls in ALL_SANITIZERS:
@@ -139,8 +142,13 @@ class Observability:
                 us = self.env.now - t0
                 self.trace.emit("verb.complete", node=node,
                                 op=op, dst=dst, us=us)
-                self.metrics.histogram(f"nic.{op}_us").observe(us)
-                self.metrics.histogram(f"nic.{op}_us", node=node).observe(us)
+                hists = self._verb_hists.get((op, node))
+                if hists is None:
+                    hists = self._verb_hists[(op, node)] = (
+                        self.metrics.histogram(f"nic.{op}_us"),
+                        self.metrics.histogram(f"nic.{op}_us", node=node))
+                hists[0].observe(us)
+                hists[1].observe(us)
             else:
                 self.trace.emit("verb.fail", node=node, op=op, dst=dst)
                 self.metrics.counter("nic.verb_fails", node=node).inc()

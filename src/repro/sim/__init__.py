@@ -33,6 +33,7 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Timeout,
+    slow_kernel_requested,
 )
 from repro.sim.cpu import CPU, CPUJob
 from repro.sim.resources import Gate, Resource, Store
@@ -53,4 +54,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "slow_kernel_requested",
 ]

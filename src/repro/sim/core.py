@@ -13,11 +13,23 @@ The kernel is deliberately small and deterministic:
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a
 seeded simulation always replays identically.
+
+Fast path: entries scheduled *at the current time* (triggered events,
+process inits, zero-delay timeouts) go to a FIFO deque instead of the
+heap.  Every schedule — heap or deque — still consumes one number from
+the shared sequence counter, and :meth:`Environment.step` pops whichever
+of (deque head, heap head) has the globally smallest ``(when, seq)``, so
+the total firing order is exactly the heap-only order (see DESIGN.md §9
+for the argument).  ``REPRO_SLOW_KERNEL=1`` in the process environment
+disables the deque (and the analytic fabric shortcuts that key off
+``Environment.fastpath``), keeping the naive paths testable.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -29,6 +41,7 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "Environment",
+    "slow_kernel_requested",
 ]
 
 
@@ -52,6 +65,19 @@ class Interrupt(Exception):
 _PENDING = object()
 # Sentinel for agenda entries whose event value was set at trigger time.
 _ALREADY = object()
+# Sentinel marking an agenda entry that carries a bare callable instead
+# of an Event: no allocation, no callback list, just ``fn()`` at fire
+# time.  Used by the net-layer fast paths for their internal stages.
+_CALL = object()
+
+
+def slow_kernel_requested() -> bool:
+    """True when ``REPRO_SLOW_KERNEL`` asks for the naive heap-only paths.
+
+    Read once per :class:`Environment` at construction so a test can
+    toggle the variable between simulations within one process.
+    """
+    return os.environ.get("REPRO_SLOW_KERNEL", "") not in ("", "0")
 
 
 class Event:
@@ -132,7 +158,7 @@ class Timeout(Event):
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
-        env._schedule_at(env.now + delay, self, value=value)
+        env._schedule_at(env._now + delay, self, value=value)
 
 
 class Process(Event):
@@ -153,7 +179,7 @@ class Process(Event):
         # Kick off at the current time via an initialisation event.
         init = Event(env)
         init._value = None
-        init.add_callback(self._resume)
+        init.callbacks.append(self._resume)
         env._queue_event(init)
 
     @property
@@ -180,21 +206,19 @@ class Process(Event):
         self.env._queue_event(carrier)
 
     # -- internal ------------------------------------------------------
-    def _resume_throw(self, event: Event) -> None:
-        self._step(event, throw=True)
-
     def _resume(self, event: Event) -> None:
-        self._step(event, throw=not event._ok)
-
-    def _step(self, event: Event, throw: bool) -> None:
-        if not self.is_alive:
+        # Hot path: one resume per yield of every process.  Property
+        # accessors (is_alive / triggered) are inlined to plain slot
+        # reads; the interrupt carrier arrives with ``_ok`` False so a
+        # single branch covers both send and throw.
+        if self._value is not _PENDING:
             return
         self._target = None
         try:
-            if throw:
-                nxt = self._gen.throw(event._value)
-            else:
+            if event._ok:
                 nxt = self._gen.send(event._value)
+            else:
+                nxt = self._gen.throw(event._value)
         except StopIteration as stop:
             self._value = stop.value
             self.env._queue_event(self)
@@ -216,7 +240,15 @@ class Process(Event):
         if nxt.env is not self.env:
             raise SimulationError("yielded event belongs to another Environment")
         self._target = nxt
-        nxt.add_callback(self._resume)
+        cbs = nxt.callbacks
+        if cbs is None:
+            # Yielded an already-processed event: resume immediately,
+            # same as Event.add_callback would.
+            self._resume(nxt)
+        else:
+            cbs.append(self._resume)
+
+    _resume_throw = _resume  # interrupt carriers always have _ok False
 
 
 class _Condition(Event):
@@ -287,8 +319,14 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list = []
+        #: FIFO of ``(seq, event, value)`` entries scheduled at the
+        #: current time; merged with the heap by seq in :meth:`step`.
+        self._imm: deque = deque()
         self._seq = 0
         self._id_streams: dict = {}
+        #: False under ``REPRO_SLOW_KERNEL=1``: immediate entries take
+        #: the heap and the net layer skips its analytic shortcuts.
+        self.fastpath = not slow_kernel_requested()
 
     # -- clock ----------------------------------------------------------
     @property
@@ -329,19 +367,64 @@ class Environment:
     def _schedule_at(self, when: float, event: Event,
                      value: Any = _ALREADY) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, event, value))
+        if when == self._now and self.fastpath:
+            self._imm.append((self._seq, event, value))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, event, value))
 
     def _queue_event(self, event: Event) -> None:
         """Schedule a triggered event's callbacks at the current time."""
-        self._schedule_at(self._now, event)
+        self._seq += 1
+        if self.fastpath:
+            self._imm.append((self._seq, event, _ALREADY))
+        else:
+            heapq.heappush(self._heap,
+                           (self._now, self._seq, event, _ALREADY))
+
+    def _schedule_call(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callable — the allocation-free agenda entry.
+
+        Only for internal stages whose sole consumer is ``fn`` itself
+        (nobody can add callbacks or yield on it).  The net-layer fast
+        paths use this for link release / wire arrival / service stages.
+        """
+        self._seq += 1
+        if when == self._now and self.fastpath:
+            self._imm.append((self._seq, fn, _CALL))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, fn, _CALL))
 
     # -- execution ------------------------------------------------------
     def step(self) -> None:
-        """Process one agenda entry."""
+        """Process the agenda entry with the smallest ``(when, seq)``.
+
+        Immediate entries all sit at the current time (time cannot
+        advance while the deque is non-empty), so the merge with the
+        heap only ever compares seq numbers at equal timestamps.
+        """
+        imm = self._imm
+        if imm:
+            heap = self._heap
+            if (not heap or heap[0][0] > self._now
+                    or heap[0][1] > imm[0][0]):
+                _seq, event, value = imm.popleft()
+                if value is _CALL:
+                    event()
+                    return
+                if value is not _ALREADY and event._value is _PENDING:
+                    event._value = value
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                return
         when, _seq, event, value = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = when
+        if value is _CALL:
+            event()
+            return
         if value is not _ALREADY and event._value is _PENDING:
             # Delayed trigger (Timeout): the value rides the agenda entry.
             event._value = value
@@ -352,15 +435,26 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next agenda entry, or ``inf`` if empty."""
+        if self._imm:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         """Run until the agenda is empty, ``until`` is reached, or
         ``max_events`` entries have been processed.  Returns ``now``."""
+        heap = self._heap
+        imm = self._imm
+        if until is None and max_events is None:
+            # Hot loop: no bound checks between steps.
+            step = self.step
+            while heap or imm:
+                step()
+            return self._now
         count = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        while heap or imm:
+            if until is not None and \
+                    (self._now if imm else heap[0][0]) > until:
                 self._now = until
                 return self._now
             if max_events is not None and count >= max_events:
@@ -375,14 +469,15 @@ class Environment:
         """Run until ``event`` has fired.  Raises if the agenda drains or
         the time ``limit`` passes first (deadlock detector for tests)."""
         while not event.triggered:
-            if not self._heap:
+            if not self._heap and not self._imm:
                 raise SimulationError(
                     "agenda empty before awaited event fired (deadlock?)")
-            if self._heap[0][0] > limit:
+            if self.peek() > limit:
                 raise SimulationError(f"event did not fire before t={limit}")
             self.step()
         # Drain zero-delay follow-ups so the event's callbacks have run.
-        while self._heap and self._heap[0][0] <= self._now and not event.processed:
+        while (not event.processed and (self._imm or (
+                self._heap and self._heap[0][0] <= self._now))):
             self.step()
         if not event._ok:
             raise event._value

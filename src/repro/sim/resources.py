@@ -115,6 +115,16 @@ class Resource:
             ...
         finally:
             resource.release()
+
+    Besides plain acquire/release, one slot can be *reserved until a
+    deadline* (:meth:`try_reserve`).  A reservation occupies capacity
+    like a holder but needs **no release agenda entry**: it simply stops
+    counting once the clock passes the deadline.  Only when a waiter
+    queues behind an active reservation is a single expiry entry
+    scheduled, which hands the slot over at exactly the deadline — the
+    same instant a real holder's ``release()`` would have run.  The
+    fabric fast path uses this to model an egress link's serialization
+    window without paying an agenda entry per transfer (DESIGN.md §9).
     """
 
     def __init__(self, env: Environment, capacity: int = 1):
@@ -124,6 +134,13 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: deadline of the active reservation; -1.0 = none.  The
+        #: reservation counts as occupied while ``deadline >= now`` —
+        #: inclusive, because a real holder would release *at* the
+        #: deadline instant and same-instant competitors must still
+        #: queue behind it.
+        self._reserved_until = -1.0
+        self._expiry_scheduled = False
 
     @property
     def in_use(self) -> int:
@@ -135,18 +152,43 @@ class Resource:
 
     def acquire(self) -> Event:
         event = Event(self.env)
-        if self._in_use < self.capacity:
+        reserved = self._reserved_until >= self.env._now
+        if self._in_use + (1 if reserved else 0) < self.capacity:
             self._in_use += 1
             event.succeed()
         else:
             self._waiters.append(event)
+            if reserved and not self._expiry_scheduled:
+                self._expiry_scheduled = True
+                self.env._schedule_call(self._reserved_until,
+                                        self._reservation_expired)
         return event
 
     def try_acquire(self) -> bool:
-        if self._in_use < self.capacity:
+        if self._in_use + (1 if self._reserved_until >= self.env._now
+                           else 0) < self.capacity:
             self._in_use += 1
             return True
         return False
+
+    def try_reserve(self, until: float) -> bool:
+        """Claim a free slot until ``until`` without holding it.
+
+        Fails when the resource is full, already reserved, or has
+        waiters (FIFO fairness: a reservation must not jump the queue).
+        """
+        if (self._reserved_until >= self.env._now
+                or self._in_use >= self.capacity or self._waiters):
+            return False
+        self._reserved_until = until
+        return True
+
+    def _reservation_expired(self) -> None:
+        self._expiry_scheduled = False
+        self._reserved_until = -1.0
+        if self._waiters and self._in_use < self.capacity:
+            self._in_use += 1
+            self._waiters.popleft().succeed()
 
     def release(self) -> None:
         if self._in_use <= 0:
