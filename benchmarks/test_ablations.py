@@ -5,108 +5,35 @@ Not paper figures — these justify knobs that the paper leaves implicit:
 * HYBCC's small/large threshold (where duplication stops paying),
 * the async monitoring period (staleness vs. traffic),
 * the DDSS spin-lock backoff (latency vs. wasted atomics).
+
+Since PR 4 each sweep dispatches through :mod:`repro.lab`: the grid is
+a packaged :class:`~repro.lab.Sweep`, the per-point bodies live in
+:mod:`repro.lab.scenarios`, and the tables are folded from the run
+records by the lab merge step.  The pytest wrappers run serial
+(``workers=0``) into the shared on-disk store, so an earlier
+``repro lab run ablation-* --workers N`` pre-populates them and the
+bench here only verifies + renders.
 """
 
 import os
 
-from repro.bench import BenchTable
-from repro.net import Cluster
-from repro.cache import HybridCache
-from repro.datacenter import DataCenter
-from repro.ddss import DDSS, Coherence
-from repro.monitor.experiments import accuracy_trace
+from repro.lab import Runner, merge_tables, packaged_sweep, store_for
 
 from conftest import run_once
 
 
-def hybcc_threshold_sweep() -> BenchTable:
-    """TPS at one mid-size grid point as the HYBCC threshold moves."""
-    table = BenchTable(
-        "HYBCC threshold ablation (16KB docs, 2 proxies)",
-        ["threshold", "tps"],
-        paper_ref="design choice: duplication/capacity crossover")
-    from repro.cache import schemes as schemes_mod
-
-    for threshold in (4_096, 8_192, 16_384, 32_768):
-        class Tuned(HybridCache):
-            def __init__(self, proxies, fileset, capacity,
-                         extra_nodes=(), threshold=threshold):
-                super().__init__(proxies, fileset, capacity,
-                                 extra_nodes=extra_nodes,
-                                 threshold=threshold)
-
-        original = schemes_mod.SCHEMES["HYBCC"]
-        schemes_mod.SCHEMES["HYBCC"] = Tuned
-        try:
-            dc = DataCenter(n_proxies=2, n_app=2, scheme="HYBCC",
-                            n_docs=1_200, doc_bytes=16_384,
-                            cache_bytes=8 * 1024 * 1024,
-                            n_sessions=48, seed=1)
-            tps = dc.run_tps(warmup_us=80_000, measure_us=120_000)
-        finally:
-            schemes_mod.SCHEMES["HYBCC"] = original
-        table.add(threshold, round(tps))
-    return table
-
-
-def monitor_period_sweep() -> BenchTable:
-    """RDMA-async accuracy as the poll period grows."""
-    table = BenchTable(
-        "RDMA-async poll-period ablation",
-        ["period_us", "mean_abs_dev"],
-        paper_ref="design choice: millisecond-granularity polling")
-    for period in (500.0, 1_000.0, 5_000.0, 20_000.0):
-        r = accuracy_trace("rdma-async", duration_us=200_000.0,
-                           seed=0, period_us=period)
-        table.add(int(period), round(r.mean_abs_deviation, 2))
-    return table
-
-
-def lock_backoff_sweep() -> BenchTable:
-    """DDSS unit-lock acquisition under contention vs backoff cap."""
-    table = BenchTable(
-        "DDSS spin-lock backoff ablation (4 contenders)",
-        ["backoff_cap_us", "makespan_us", "atomics"],
-        paper_ref="design choice: exponential backoff on CAS failure")
-    import repro.ddss.client as client_mod
-
-    for cap in (5.0, 50.0, 400.0):
-        original = client_mod._BACKOFF
-        client_mod._BACKOFF = (2.0, 2.0, cap)
-        try:
-            cluster = Cluster(n_nodes=5, seed=0)
-            ddss = DDSS(cluster)
-            key_holder = {}
-
-            def setup(env):
-                c = ddss.client(cluster.nodes[0])
-                key_holder["key"] = yield c.allocate(
-                    16, coherence=Coherence.NULL, placement=0)
-
-            p = cluster.env.process(setup(cluster.env))
-            cluster.env.run_until_event(p)
-
-            def contender(env, node):
-                c = ddss.client(node)
-                for _ in range(5):
-                    yield c.acquire(key_holder["key"])
-                    yield env.timeout(30.0)
-                    yield c.release(key_holder["key"])
-
-            procs = [cluster.env.process(contender(cluster.env, n))
-                     for n in cluster.nodes[1:]]
-            done = cluster.env.all_of(procs)
-            cluster.env.run_until_event(done, limit=1e9)
-            makespan = cluster.env.now
-            atomics = sum(n.nic.atomics for n in cluster.nodes)
-        finally:
-            client_mod._BACKOFF = original
-        table.add(int(cap), round(makespan), atomics)
-    return table
+def _run_sweep(name: str, results_root: str):
+    sweep = packaged_sweep(name)
+    store = store_for(name, root=os.path.join(results_root, "lab"))
+    runner = Runner(sweep, store, workers=0)
+    report = runner.run()
+    assert not report["failed"], report["failures"]
+    return merge_tables(sweep, store)[0]
 
 
 def test_ablation_hybcc_threshold(benchmark, results_dir):
-    table = run_once(benchmark, hybcc_threshold_sweep)
+    table = run_once(benchmark, lambda: _run_sweep("ablation-hybcc",
+                                                   results_dir))
     table.show()
     table.save_json(os.path.join(results_dir, "ablation_hybcc.json"))
     tps = {row[0]: row[1] for row in table.rows}
@@ -116,7 +43,8 @@ def test_ablation_hybcc_threshold(benchmark, results_dir):
 
 
 def test_ablation_monitor_period(benchmark, results_dir):
-    table = run_once(benchmark, monitor_period_sweep)
+    table = run_once(benchmark, lambda: _run_sweep("ablation-period",
+                                                   results_dir))
     table.show()
     table.save_json(os.path.join(results_dir, "ablation_period.json"))
     dev = {row[0]: row[1] for row in table.rows}
@@ -124,7 +52,8 @@ def test_ablation_monitor_period(benchmark, results_dir):
 
 
 def test_ablation_lock_backoff(benchmark, results_dir):
-    table = run_once(benchmark, lock_backoff_sweep)
+    table = run_once(benchmark, lambda: _run_sweep("ablation-backoff",
+                                                   results_dir))
     table.show()
     table.save_json(os.path.join(results_dir, "ablation_backoff.json"))
     rows = {row[0]: row for row in table.rows}

@@ -2,8 +2,10 @@
 and the wall-clock engine suite (:mod:`repro.bench.engine`)."""
 
 from repro.bench.engine import check_regression, run_suite, write_report
-from repro.bench.harness import BenchTable, format_series, improvement_pct
+from repro.bench.harness import (BenchTable, dump_tables, format_series,
+                                 improvement_pct, replay)
 from repro.bench.plot import ascii_bars, ascii_chart
 
 __all__ = ["BenchTable", "ascii_bars", "ascii_chart", "check_regression",
-           "format_series", "improvement_pct", "run_suite", "write_report"]
+           "dump_tables", "format_series", "improvement_pct", "replay",
+           "run_suite", "write_report"]

@@ -178,19 +178,41 @@ def _bench_scenario() -> Dict[str, object]:
 # suite driver
 # ---------------------------------------------------------------------------
 
-def run_suite(quick: bool = False) -> Dict[str, object]:
-    """Run every engine benchmark; returns the JSON-ready report."""
-    scale = 1 if quick else 4
+def run_suite(quick: bool = False, workers: int = 0) -> Dict[str, object]:
+    """Run every engine benchmark; returns the JSON-ready report.
+
+    The suite dispatches through the lab runner (an ephemeral in-memory
+    store): ``workers=0`` executes in-process exactly as before, while
+    ``workers=N`` fans the four benchmarks out over a process pool.
+    Wall-clock rates measured with concurrent workers share the host
+    with each other — only compare runs at the same ``workers`` setting
+    (the CI gate always uses 0).
+    """
+    from repro.lab import Runner, Sweep
+
+    sweep = Sweep(
+        name="engine", scenario="repro.lab.scenarios:engine_bench",
+        grid={"bench": ["events", "small_verbs", "lock_ops",
+                        "scenario_ddss"]},
+        base={"scale": 1 if quick else 4})
+    runner = Runner(sweep, workers=workers)
+    report = runner.run()
+    if report["failed"]:
+        raise RuntimeError(
+            f"engine benchmarks failed: {report['failures']}")
+    results = {r["params"]["bench"]: r["result"]
+               for r in runner.store.records()}
     return {
         "schema": 1,
         "suite": "engine",
         "quick": quick,
+        "workers": workers,
         "python": platform.python_version(),
         "results": {
-            "events": _bench_events(100_000 * scale),
-            "small_verbs": _bench_small_verbs(5_000 * scale),
-            "lock_ops": _bench_lock_ops(2_000 * scale),
-            "scenario_ddss": _bench_scenario(),
+            "events": results["events"],
+            "small_verbs": results["small_verbs"],
+            "lock_ops": results["lock_ops"],
+            "scenario_ddss": results["scenario_ddss"],
         },
     }
 

@@ -290,6 +290,145 @@ def _obs_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lab subcommand (parallel sweeps + resumable store)
+# ---------------------------------------------------------------------------
+
+def _lab_store_and_sweep(args):
+    """Resolve (sweep, store) from a packaged name or a store directory."""
+    import os
+
+    from repro.errors import ConfigError
+    from repro.lab import ResultStore, SWEEPS, packaged_sweep, store_for
+
+    name = args.sweep
+    if name in SWEEPS:
+        sweep = packaged_sweep(name)
+        store = store_for(name, root=args.store_root)
+        if store.has_sweep():
+            on_disk = store.load_sweep()
+            if on_disk.spec_hash() != sweep.spec_hash():
+                print(f"warning: store at {store.path} was written by a "
+                      f"different version of sweep {name!r}; stale "
+                      f"records are kept but may no longer match",
+                      file=sys.stderr)
+        return sweep, store
+    if os.path.isdir(name):
+        store = ResultStore(name)
+        return store.load_sweep(), store
+    raise ConfigError(
+        f"unknown sweep {name!r} (not packaged, not a store directory); "
+        f"try: repro lab ls")
+
+
+def _lab_main(args) -> int:
+    import json
+    import os
+
+    from repro.errors import ConfigError
+    from repro.lab import (DEFAULT_ROOT, ResultStore, Runner, RetryPolicy,
+                           SWEEPS, merge_tables, store_for)
+
+    if args.action == "ls":
+        print("packaged sweeps:")
+        for name in sorted(SWEEPS):
+            sweep = SWEEPS[name]()
+            n = len(sweep.expand())
+            store = store_for(name, root=args.store_root)
+            state = ""
+            if store.has_sweep():
+                done = len(store.completed_ids())
+                state = f"   [{done}/{n} complete on disk]"
+            print(f"  {name:18s} {n:4d} runs  "
+                  f"({sweep.scenario}){state}")
+        root = args.store_root or DEFAULT_ROOT
+        if os.path.isdir(root):
+            extra = sorted(d for d in os.listdir(root)
+                           if d not in SWEEPS
+                           and os.path.isdir(os.path.join(root, d)))
+            for d in extra:
+                print(f"  {d:18s} (store only: {os.path.join(root, d)})")
+        return 0
+
+    try:
+        sweep, store = _lab_store_and_sweep(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        records = store.records()
+        if not records:
+            print(f"no completed runs in {store.path}", file=sys.stderr)
+            return 1
+        for table in merge_tables(sweep, store):
+            table.show()
+        print(f"\n{len(records)}/{len(sweep.expand())} runs complete "
+              f"in {store.path}")
+        return 0
+
+    # run / resume
+    if args.action == "resume" and not store.has_sweep():
+        print(f"nothing to resume: no store at {store.path} "
+              f"(use: repro lab run {args.sweep})", file=sys.stderr)
+        return 2
+    runner = Runner(
+        sweep, store, workers=args.workers, timeout_s=args.timeout,
+        retry=RetryPolicy(retries=args.retries),
+        progress=not args.no_progress)
+    report = runner.run()
+    print(f"[lab {sweep.name}] {report['completed']} ran, "
+          f"{report['skipped']} skipped, {report['failed']} failed "
+          f"({report['wall_s']:.1f}s wall, workers={args.workers})")
+    for failure in report["failures"]:
+        print(f"  FAILED {failure['run_id']} "
+              f"params={failure['params']} after "
+              f"{failure['attempts']} attempt(s): {failure['error']}",
+              file=sys.stderr)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+    if report["interrupted"]:
+        print(f"interrupted — continue with: "
+              f"repro lab resume {args.sweep}", file=sys.stderr)
+        return 130
+    if not report["failed"] and not args.no_tables:
+        for table in merge_tables(sweep, store):
+            table.show()
+    return 1 if report["failed"] else 0
+
+
+def _lab_bench_main(args) -> int:
+    import json
+
+    from repro.lab.labbench import run_lab_bench
+
+    report = run_lab_bench(workers=args.workers, sweep_name=args.sweep)
+    res = report["results"]
+    print(f"lab bench ({report['runs']} runs, sweep {report['sweep']}, "
+          f"{report['cpu_count']} cpus):")
+    print(f"  serial   {res['serial_wall_s']:>8.2f} s")
+    print(f"  workers={report['workers']:<2d} "
+          f"{res['parallel_wall_s']:>6.2f} s   "
+          f"({res['speedup']:.2f}x)")
+    print(f"  records identical: {res['records_identical']}   "
+          f"tables identical: {res['tables_identical']}")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if not res["records_identical"] or not res["tables_identical"]:
+        print("FATAL: serial and parallel runs disagree",
+              file=sys.stderr)
+        return 1
+    if res["serial_failed"] or res["parallel_failed"]:
+        print("FATAL: lab bench had failing runs", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # engine benchmark subcommand
 # ---------------------------------------------------------------------------
 
@@ -299,7 +438,7 @@ def _bench_main(args) -> int:
     from repro.bench.engine import (RESULTS_DIR, check_regression,
                                     run_suite, write_report)
 
-    report = run_suite(quick=args.quick)
+    report = run_suite(quick=args.quick, workers=args.workers)
     res = report["results"]
     print(f"engine bench ({'quick' if args.quick else 'full'}):")
     print(f"  events       {res['events']['events_per_sec']:>12,.0f} /s")
@@ -372,7 +511,60 @@ def main(argv=None) -> int:
                              "skips the gate)")
     benchp.add_argument("--no-archive", action="store_true",
                         help="skip the benchmarks/results/ archive copy")
+    benchp.add_argument("--workers", type=int, default=0,
+                        help="dispatch the suite through the lab runner "
+                             "with this many pool workers (0 = in-process;"
+                             " wall-clock rates are only comparable "
+                             "across runs at the same setting)")
+    labp = sub.add_parser(
+        "lab", help="parallel experiment sweeps with a resumable "
+                    "result store")
+    labsub = labp.add_subparsers(dest="action", required=True)
+    lab_ls = labsub.add_parser("ls", help="list packaged sweeps + "
+                                          "on-disk stores")
+    lab_bench = labsub.add_parser(
+        "bench", help="serial-vs-parallel speedup + byte-identity check "
+                      "(writes BENCH_lab.json)")
+    lab_bench.add_argument("--workers", type=int, default=4)
+    lab_bench.add_argument("--sweep", default="bench8",
+                           help="packaged sweep to compare on "
+                                "(default: bench8)")
+    lab_bench.add_argument("--out", metavar="PATH",
+                           default="BENCH_lab.json")
+    store_root_help = ("override benchmarks/results/lab/ as the "
+                       "store root")
+    lab_ls.add_argument("--store-root", default=None,
+                        help=store_root_help)
+    for act, hlp in (("run", "run a sweep (skips completed runs)"),
+                     ("resume", "re-invoke a killed sweep: only missing "
+                                "runs execute"),
+                     ("show", "merged tables + completion state of a "
+                              "store")):
+        p = labsub.add_parser(act, help=hlp)
+        p.add_argument("sweep", help="packaged sweep name or store "
+                                     "directory")
+        p.add_argument("--store-root", default=None,
+                       help=store_root_help)
+        if act != "show":
+            p.add_argument("--workers", type=int, default=0,
+                           help="pool workers (0 = serial in-process, "
+                                "the byte-identical reference mode)")
+            p.add_argument("--timeout", type=float, default=None,
+                           help="per-run timeout in seconds")
+            p.add_argument("--retries", type=int, default=2,
+                           help="extra attempts per run after a "
+                                "failure/crash (default 2)")
+            p.add_argument("--report", metavar="PATH", default=None,
+                           help="write the runner summary JSON here")
+            p.add_argument("--no-progress", action="store_true")
+            p.add_argument("--no-tables", action="store_true",
+                           help="skip the merged-table rendering")
     args = parser.parse_args(argv)
+
+    if args.command == "lab":
+        if args.action == "bench":
+            return _lab_bench_main(args)
+        return _lab_main(args)
 
     if args.command == "bench":
         return _bench_main(args)

@@ -1,0 +1,76 @@
+"""The lab acceptance benchmark: serial vs parallel, byte-identity.
+
+Runs the packaged 8-run ``bench8`` sweep twice into throwaway stores —
+once with ``workers=0`` (the in-process reference path) and once with
+``workers=N`` — then certifies that every per-run record is
+byte-identical between the two modes and reports the wall-clock
+speedup.  ``repro lab bench`` writes the result to ``BENCH_lab.json``
+(compare ``BENCH_engine.json``); on a multi-core runner the speedup
+should approach the worker count, on a single core it records the
+pool overhead instead — ``cpu_count`` is in the report so readers can
+tell which they are looking at.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import tempfile
+from typing import Dict, Optional
+
+from .merge import merge_tables
+from .runner import Runner
+from .scenarios import packaged_sweep
+from .store import ResultStore
+
+__all__ = ["run_lab_bench"]
+
+DEFAULT_RESULT = "BENCH_lab.json"
+
+
+def _run_mode(sweep_name: str, workers: int, root: str) -> Dict[str, object]:
+    sweep = packaged_sweep(sweep_name)
+    store = ResultStore(os.path.join(root, f"workers{workers}"))
+    runner = Runner(sweep, store, workers=workers)
+    report = runner.run()
+    tables = merge_tables(sweep, store)
+    return {
+        "report": report,
+        "lines": store.record_lines(),
+        "tables": [t.to_dict() for t in tables],
+    }
+
+
+def run_lab_bench(workers: int = 4, sweep_name: str = "bench8",
+                  keep_dir: Optional[str] = None) -> Dict[str, object]:
+    """Serial-vs-parallel comparison; returns the JSON-ready report."""
+    with tempfile.TemporaryDirectory(prefix="repro-lab-bench-") as tmp:
+        root = keep_dir or tmp
+        serial = _run_mode(sweep_name, 0, root)
+        parallel = _run_mode(sweep_name, workers, root)
+    s_lines, p_lines = serial["lines"], parallel["lines"]
+    identical = s_lines == p_lines
+    mismatched = sorted(set(s_lines) ^ set(p_lines)) + \
+        [rid for rid in s_lines
+         if rid in p_lines and s_lines[rid] != p_lines[rid]]
+    s_wall = serial["report"]["wall_s"]
+    p_wall = parallel["report"]["wall_s"]
+    return {
+        "schema": 1,
+        "suite": "lab",
+        "sweep": sweep_name,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "runs": serial["report"]["total"],
+        "results": {
+            "serial_wall_s": s_wall,
+            "parallel_wall_s": p_wall,
+            "speedup": round(s_wall / p_wall, 2) if p_wall else None,
+            "records_identical": identical,
+            "mismatched_run_ids": mismatched,
+            "tables_identical": serial["tables"] == parallel["tables"],
+            "serial_failed": serial["report"]["failed"],
+            "parallel_failed": parallel["report"]["failed"],
+        },
+    }

@@ -1,0 +1,59 @@
+"""Fold per-run records into paper-style tables.
+
+The merge step is the bridge from the result store back into the
+existing bench harness: resolve the sweep's ``fold`` callable (or the
+generic per-run fold), build :class:`BenchTable`\\ s, and optionally
+``show()``/``replay()`` + dump them as JSON.  Because worker processes
+each have their own ``RENDERED`` module-global, tables built *inside*
+runs travel as ``show()`` dicts in the run result and are re-registered
+here via :func:`repro.bench.harness.replay`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..bench.harness import BenchTable, dump_tables, replay
+from .spec import Sweep, resolve_dotted
+from .store import ResultStore
+
+__all__ = ["merge_tables", "merged_records"]
+
+
+def merged_records(store: ResultStore) -> List[Dict[str, Any]]:
+    """Store records in the deterministic merge order (by run id)."""
+    return sorted(store.records(), key=lambda r: r["run_id"])
+
+
+def merge_tables(sweep: Sweep, store: ResultStore,
+                 show: bool = False,
+                 dump_dir: Optional[str] = None) -> List[BenchTable]:
+    """Fold a store's records into tables; optionally render + dump.
+
+    Tables come from two places, in order: dicts each run shipped under
+    ``result["tables"]`` (worker-side ``show()`` output, replayed here),
+    then the sweep-level fold over all records.
+    """
+    records = merged_records(store)
+    shipped = [t for r in records
+               if isinstance(r["result"], dict)
+               for t in r["result"].get("tables", [])]
+    tables: List[BenchTable] = []
+    if shipped:
+        if show:
+            tables.extend(replay(shipped))
+        else:
+            tables.extend(BenchTable.from_dict(t) for t in shipped)
+    fold = resolve_dotted(sweep.fold) if sweep.fold else None
+    if fold is not None:
+        folded = fold(records)
+    else:
+        from .scenarios import fold_by_param
+        folded = fold_by_param(records, title=f"lab sweep: {sweep.name}")
+    for table in folded:
+        if show:
+            table.show()
+        tables.append(table)
+    if dump_dir is not None:
+        dump_tables(tables, dump_dir)
+    return tables

@@ -1,0 +1,348 @@
+"""Parallel experiment runner: fan runs out, retry crashes, resume.
+
+The :class:`Runner` expands a :class:`~repro.lab.spec.Sweep`, skips runs
+the :class:`~repro.lab.store.ResultStore` already holds, and executes
+the rest either in-process (``workers=0`` — the byte-identical reference
+path) or on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Execution discipline:
+
+* **Seeded shard scheduling** — the pending runs are shuffled by a
+  PRNG seeded from the sweep's content hash, so the dispatch order is
+  deterministic, identical for serial and parallel modes, and spreads
+  expensive grid neighbours across workers instead of clumping them.
+* **Per-run timeout** — enforced *inside* the worker via ``SIGALRM``
+  (where the platform has it), so a wedged simulation turns into an
+  ordinary retryable failure instead of a stuck pool slot.
+* **Bounded retry with backoff** — scenario exceptions, timeouts and
+  worker crashes all consume one attempt from a
+  :class:`RetryPolicy` budget (the same ``base × factor^k, capped``
+  shape as :mod:`repro.faults`' RPC retry).  A worker crash breaks the
+  whole pool (``BrokenProcessPool``); the runner charges an attempt to
+  the runs that were in flight, rebuilds the pool and carries on.
+* **Graceful Ctrl-C** — the first ``KeyboardInterrupt`` stops new
+  submissions, drains the in-flight runs and flushes their records, so
+  ``repro lab resume`` picks up exactly where the sweep stopped.
+
+Progress is surfaced twice: an optional single-line terminal ticker and
+a :class:`~repro.obs.metrics.MetricsRegistry` (counters per outcome,
+log-bucketed wall-time histogram) embedded in the final report.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..obs.metrics import MetricsRegistry
+from .spec import RunSpec, Sweep, canonical_json
+from .store import ResultStore, record_for
+
+__all__ = ["RetryPolicy", "Runner", "RunFailure", "execute_run"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (RPC-retry shaped)."""
+
+    retries: int = 2          #: extra attempts after the first failure
+    base_s: float = 0.05      #: first backoff sleep
+    factor: float = 2.0       #: growth per consecutive failure
+    cap_s: float = 1.0        #: backoff ceiling
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.factor < 1.0:
+            raise ConfigError("backoff factor must be >= 1.0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running a spec that failed ``attempt``
+        times (attempt >= 1)."""
+        return min(self.base_s * self.factor ** (attempt - 1), self.cap_s)
+
+
+@dataclass
+class RunFailure:
+    run_id: str
+    params: Dict[str, Any]
+    seed: int
+    repeat: int
+    attempts: int
+    error: str
+
+
+class _RunTimeout(Exception):
+    pass
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - signal context
+    raise _RunTimeout()
+
+
+def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one run; also the pool-worker entry point (picklable).
+
+    ``payload`` is ``{"spec": RunSpec.to_dict(), "timeout_s": float|None}``.
+    Returns ``{"record": <deterministic record>, "wall_s": float,
+    "pid": int}``.  Raises whatever the scenario raises (the parent
+    turns that into a retry); a timeout raises :class:`TimeoutError`.
+    """
+    spec = RunSpec.from_dict(payload["spec"])
+    timeout_s = payload.get("timeout_s")
+    fn = spec.resolve()
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    old_handler = None
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(max(1, int(timeout_s)))
+    t0 = time.perf_counter()
+    try:
+        result = fn(seed=spec.effective_seed, **spec.params)
+    except _RunTimeout:
+        raise TimeoutError(
+            f"run {spec.run_id} exceeded {timeout_s}s") from None
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old_handler)
+    wall = time.perf_counter() - t0
+    record = record_for(spec, result)
+    # fail *here* (inside the attempt) if the scenario returned
+    # something JSON can't carry — the parent sees an ordinary retryable
+    # run failure instead of a store crash
+    canonical_json(record)
+    return {"record": record, "wall_s": round(wall, 4),
+            "pid": os.getpid()}
+
+
+class Runner:
+    """Drive one sweep to completion against one result store."""
+
+    def __init__(self, sweep: Sweep, store: Optional[ResultStore] = None,
+                 workers: int = 0, timeout_s: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 progress: bool = False,
+                 metrics: Optional[MetricsRegistry] = None):
+        if workers < 0:
+            raise ConfigError("workers must be >= 0")
+        self.sweep = sweep
+        self.store = store if store is not None else ResultStore(None)
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.progress = progress
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(env=None)
+        self.failures: List[RunFailure] = []
+        self.interrupted = False
+        self._done = 0
+        self._total = 0
+        self._skipped = 0
+
+    # -- bookkeeping ----------------------------------------------------
+    def _payload(self, spec: RunSpec) -> Dict[str, Any]:
+        return {"spec": spec.to_dict(), "timeout_s": self.timeout_s}
+
+    def _tick(self, state: str = "") -> None:
+        if not self.progress:
+            return
+        line = (f"\r[lab {self.sweep.name}] "
+                f"{self._done + self._skipped}/{self._total} "
+                f"(skipped {self._skipped}, failed {len(self.failures)})")
+        if state:
+            line += f" {state}"
+        sys.stderr.write(line.ljust(72))
+        sys.stderr.flush()
+
+    def _record_success(self, spec: RunSpec, out: Dict[str, Any],
+                        attempts: int) -> None:
+        self.store.append(out["record"])
+        self.store.append_journal({
+            "run_id": spec.run_id, "attempts": attempts,
+            "wall_s": out["wall_s"], "pid": out["pid"]})
+        self.metrics.counter("lab.runs.completed").inc()
+        self.metrics.histogram("lab.run_wall_us").observe(
+            out["wall_s"] * 1e6)
+        self._done += 1
+        self._tick()
+
+    def _record_failure(self, spec: RunSpec, attempts: int,
+                        error: str) -> None:
+        self.failures.append(RunFailure(
+            run_id=spec.run_id, params=dict(spec.params), seed=spec.seed,
+            repeat=spec.repeat, attempts=attempts, error=error))
+        self.store.append_journal({
+            "run_id": spec.run_id, "attempts": attempts, "error": error})
+        self.metrics.counter("lab.runs.failed").inc()
+        self._tick()
+
+    def _charge(self, spec: RunSpec, attempts: int, error: str,
+                pending: deque) -> None:
+        """One attempt failed: requeue within budget or mark failed."""
+        if attempts <= self.retry.retries:
+            self.metrics.counter("lab.runs.retried").inc()
+            pending.append((spec, attempts))
+        else:
+            self._record_failure(spec, attempts, error)
+
+    # -- public API -----------------------------------------------------
+    def pending_specs(self) -> List[RunSpec]:
+        """Expanded runs minus completed ones, in seeded-shuffle
+        dispatch order."""
+        done = self.store.completed_ids()
+        specs = [s for s in self.sweep.expand() if s.run_id not in done]
+        order = random.Random(int(self.sweep.spec_hash(), 16))
+        order.shuffle(specs)
+        return specs
+
+    def run(self) -> Dict[str, Any]:
+        """Execute every pending run; returns the summary report."""
+        all_specs = self.sweep.expand()
+        seen = set()
+        for s in all_specs:
+            if s.run_id in seen:
+                raise ConfigError(
+                    f"duplicate run in sweep {self.sweep.name!r}: "
+                    f"{s.to_dict()}")
+            seen.add(s.run_id)
+        self.store.write_sweep(self.sweep)
+        pending_specs = self.pending_specs()
+        self._total = len(all_specs)
+        self._skipped = self._total - len(pending_specs)
+        if self._skipped:
+            self.metrics.counter("lab.runs.skipped").inc(self._skipped)
+        t0 = time.perf_counter()
+        self._tick()
+        try:
+            if self.workers == 0:
+                self._run_serial(pending_specs)
+            else:
+                self._run_pool(pending_specs)
+        except KeyboardInterrupt:
+            self.interrupted = True
+        if self.progress:
+            self._tick("interrupted" if self.interrupted else "done")
+            sys.stderr.write("\n")
+        return self.report(wall_s=time.perf_counter() - t0)
+
+    def report(self, wall_s: float = 0.0) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep.name,
+            "spec_hash": self.sweep.spec_hash(),
+            "total": self._total,
+            "completed": self._done,
+            "skipped": self._skipped,
+            "failed": len(self.failures),
+            "interrupted": self.interrupted,
+            "workers": self.workers,
+            "wall_s": round(wall_s, 4),
+            "failures": [vars(f) for f in self.failures],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # -- serial (reference) path ---------------------------------------
+    def _run_serial(self, specs: List[RunSpec]) -> None:
+        pending = deque((s, 0) for s in specs)
+        while pending:
+            spec, attempts = pending.popleft()
+            try:
+                out = execute_run(self._payload(spec))
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
+                # BaseException: a scenario calling sys.exit() must not
+                # kill the whole sweep
+                attempts += 1
+                if attempts <= self.retry.retries:
+                    time.sleep(self.retry.delay(attempts))
+                self._charge(spec, attempts, repr(exc), pending)
+                continue
+            self._record_success(spec, out, attempts + 1)
+
+    # -- process-pool path ---------------------------------------------
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _run_pool(self, specs: List[RunSpec]) -> None:
+        pending = deque((s, 0) for s in specs)
+        pool = self._make_pool()
+        inflight: Dict[Any, tuple] = {}
+        draining = False
+        try:
+            while pending or inflight:
+                while (not draining and pending
+                       and len(inflight) < self.workers):
+                    spec, attempts = pending.popleft()
+                    try:
+                        fut = pool.submit(execute_run,
+                                          self._payload(spec))
+                    except BrokenProcessPool:
+                        pending.appendleft((spec, attempts))
+                        pool = self._rebuild(pool, inflight, pending)
+                        continue
+                    inflight[fut] = (spec, attempts)
+                    self._tick(f"{len(inflight)} running")
+                if not inflight:
+                    if draining:
+                        break
+                    continue
+                try:
+                    done, _ = wait(list(inflight),
+                                   return_when=FIRST_COMPLETED)
+                except KeyboardInterrupt:
+                    if draining:
+                        raise
+                    draining = True
+                    self._tick("draining (Ctrl-C again to abort)")
+                    continue
+                broken = False
+                for fut in done:
+                    spec, attempts = inflight.pop(fut)
+                    try:
+                        out = fut.result()
+                    except BrokenProcessPool:
+                        self._charge(spec, attempts + 1,
+                                     "worker crashed (pool broken)",
+                                     pending)
+                        broken = True
+                        continue
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException as exc:
+                        self._charge(spec, attempts + 1, repr(exc),
+                                     pending)
+                        continue
+                    self._record_success(spec, out, attempts + 1)
+                if broken:
+                    pool = self._rebuild(pool, inflight, pending)
+                if draining and not inflight:
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if draining:
+            raise KeyboardInterrupt
+
+    def _rebuild(self, pool: ProcessPoolExecutor,
+                 inflight: Dict[Any, tuple],
+                 pending: deque) -> ProcessPoolExecutor:
+        """A worker died: charge in-flight runs, start a fresh pool."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        for fut, (spec, attempts) in list(inflight.items()):
+            self._charge(spec, attempts + 1,
+                         "worker crashed (pool broken)", pending)
+        inflight.clear()
+        self.metrics.counter("lab.pool.rebuilds").inc()
+        # the crash retry backoff: one sleep per rebuild, capped
+        time.sleep(self.retry.delay(
+            max(1, self.metrics.counter("lab.pool.rebuilds").value)))
+        return self._make_pool()

@@ -37,7 +37,7 @@ from repro.sim.core import (
 )
 from repro.sim.cpu import CPU, CPUJob
 from repro.sim.resources import Gate, Resource, Store
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, spawn_child
 
 __all__ = [
     "AllOf",
@@ -55,4 +55,5 @@ __all__ = [
     "Store",
     "Timeout",
     "slow_kernel_requested",
+    "spawn_child",
 ]

@@ -13,7 +13,30 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "spawn_child"]
+
+_MASK64 = (1 << 64) - 1
+#: SplitMix64 constants (Steele et al., "Fast splittable PRNGs").
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def spawn_child(seed: int, shard_index: int) -> int:
+    """Derive an independent, reproducible child seed for one shard.
+
+    A SplitMix64-style finalizer over ``(seed, shard_index)``: the child
+    seeds are decorrelated from each other *and* from the parent stream,
+    unlike ``seed + i`` arithmetic where neighbouring shards feed nearly
+    identical state into the generator.  The same ``(seed, shard_index)``
+    pair always yields the same child, independent of how many shards
+    exist or the order they are spawned in — the property the lab runner
+    relies on to make ``--workers 0`` and ``--workers N`` byte-identical.
+    """
+    z = (int(seed) + (int(shard_index) + 1) * _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
 
 
 class RngStreams:

@@ -1,0 +1,136 @@
+"""Resume-after-kill, bounded retry, worker-crash recovery, timeouts."""
+
+import os
+
+import pytest
+
+from repro.lab import (ResultStore, RetryPolicy, Runner, Sweep,
+                       merge_tables, packaged_sweep)
+
+
+class TestResume:
+    def test_partial_store_only_missing_runs_execute(self, tmp_path):
+        sweep = packaged_sweep("smoke8")
+        full = ResultStore(str(tmp_path / "full"))
+        Runner(sweep, full, workers=0).run()
+        records = full.records()
+
+        # pre-populate a partial store with 5 of the 8 records
+        done = sorted(records, key=lambda r: r["run_id"])[:5]
+        partial = ResultStore(str(tmp_path / "partial"))
+        partial.write_sweep(sweep)
+        for r in done:
+            partial.append(r)
+
+        runner = Runner(sweep, partial, workers=0)
+        report = runner.run()
+        assert report["skipped"] == 5
+        assert report["completed"] == 3
+        # journal shows exactly the 3 missing runs executed
+        executed = {e["run_id"] for e in partial.journal()}
+        missing = {r["run_id"] for r in records} - \
+            {r["run_id"] for r in done}
+        assert executed == missing
+
+    def test_resumed_store_matches_uninterrupted_run(self, tmp_path):
+        sweep = packaged_sweep("smoke8")
+        full = ResultStore(str(tmp_path / "full"))
+        Runner(sweep, full, workers=0).run()
+
+        partial = ResultStore(str(tmp_path / "partial"))
+        partial.write_sweep(sweep)
+        for r in sorted(full.records(), key=lambda r: r["run_id"])[:4]:
+            partial.append(r)
+        Runner(sweep, partial, workers=2).run()
+
+        assert partial.record_lines() == full.record_lines()
+        a = [t.to_dict() for t in merge_tables(sweep, full)]
+        b = [t.to_dict() for t in merge_tables(sweep, partial)]
+        assert a == b
+
+    def test_interrupt_drains_then_resume_completes(self, tmp_path):
+        """A KeyboardInterrupt mid-sweep keeps completed records; a
+        second invocation finishes only the remainder."""
+        counter = str(tmp_path / "counter")
+        sweep = Sweep(name="inter",
+                      scenario="tests.lab.crashers:interruptor",
+                      grid={"i": list(range(6))},
+                      base={"after": 3, "counter": counter})
+        store = ResultStore(str(tmp_path / "store"))
+        runner = Runner(sweep, store, workers=0)
+        report = runner.run()
+        assert report["interrupted"]
+        assert report["completed"] == 3
+        assert len(store.completed_ids()) == 3
+
+        os.remove(counter)  # only 3 runs remain: none reaches `after`
+        report2 = Runner(sweep, store, workers=0).run()
+        assert not report2["interrupted"]
+        assert report2["skipped"] == 3
+        assert len(store.completed_ids()) == 6
+
+
+class TestRetry:
+    def test_flaky_scenario_retried_serial(self, tmp_path):
+        sentinel = str(tmp_path / "sentinel")
+        sweep = Sweep(name="flaky", scenario="tests.lab.crashers:flaky",
+                      base={"sentinel": sentinel})
+        store = ResultStore(str(tmp_path / "store"))
+        runner = Runner(sweep, store, workers=0,
+                        retry=RetryPolicy(retries=2, base_s=0.01))
+        report = runner.run()
+        assert report["completed"] == 1
+        assert report["failed"] == 0
+        assert report["metrics"]["counters"]["lab.runs.retried"] == 1
+        (entry,) = [e for e in store.journal() if "wall_s" in e]
+        assert entry["attempts"] == 2
+
+    def test_flaky_scenario_retried_in_pool(self, tmp_path):
+        sentinel = str(tmp_path / "sentinel")
+        sweep = Sweep(name="flaky", scenario="tests.lab.crashers:flaky",
+                      base={"sentinel": sentinel})
+        store = ResultStore(str(tmp_path / "store"))
+        report = Runner(sweep, store, workers=2,
+                        retry=RetryPolicy(retries=2, base_s=0.01)).run()
+        assert report["completed"] == 1
+        assert report["failed"] == 0
+
+    def test_retry_budget_exhaustion_records_failure(self, tmp_path):
+        sweep = Sweep(name="dead", scenario="tests.lab.crashers:flaky",
+                      base={"sentinel": str(tmp_path / "never"),
+                            "unknown_param": 1})  # TypeError every time
+        store = ResultStore(str(tmp_path / "store"))
+        report = Runner(sweep, store, workers=0,
+                        retry=RetryPolicy(retries=1, base_s=0.01)).run()
+        assert report["failed"] == 1
+        assert report["completed"] == 0
+        (failure,) = report["failures"]
+        assert failure["attempts"] == 2
+        assert "TypeError" in failure["error"]
+
+    def test_worker_crash_rebuilds_pool_and_retries(self, tmp_path):
+        """os._exit in a worker breaks the pool; the runner must charge
+        an attempt, rebuild and converge."""
+        sentinel = str(tmp_path / "sentinel")
+        sweep = Sweep(name="crash",
+                      scenario="tests.lab.crashers:crasher",
+                      base={"sentinel": sentinel})
+        store = ResultStore(str(tmp_path / "store"))
+        runner = Runner(sweep, store, workers=2,
+                        retry=RetryPolicy(retries=2, base_s=0.01))
+        report = runner.run()
+        assert report["completed"] == 1
+        assert report["failed"] == 0
+        assert store.records()[0]["result"] == {"survived": True}
+        assert report["metrics"]["counters"]["lab.pool.rebuilds"] >= 1
+
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_per_run_timeout_fails_run(self, tmp_path):
+        sweep = Sweep(name="slow", scenario="tests.lab.crashers:sleeper",
+                      base={"sleep_s": 5.0})
+        store = ResultStore(str(tmp_path / "store"))
+        report = Runner(sweep, store, workers=0, timeout_s=1.0,
+                        retry=RetryPolicy(retries=0)).run()
+        assert report["failed"] == 1
+        assert "TimeoutError" in report["failures"][0]["error"]

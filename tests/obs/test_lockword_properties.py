@@ -8,7 +8,7 @@ import random
 import pytest
 
 from repro.errors import SanitizerError
-from repro.sim import Environment
+from repro.sim import Environment, spawn_child
 from repro.obs import LockWordSanitizer, Tracer
 from repro.dlm.ncosed import (
     _EP_MASK,
@@ -135,7 +135,7 @@ class TestInterleavings:
         """Flip the word to a state the protocol cannot produce:
         an unannounced tail token, an overflowing shared count, or a
         future epoch.  Every mutation must be flagged."""
-        rng = random.Random(1000 + seed)
+        rng = random.Random(spawn_child(seed, 1))
         mutations = [
             # tail token nobody announced
             lambda m: pack_ft(m.epoch, 0xBEEF42, 0),
@@ -145,7 +145,7 @@ class TestInterleavings:
             lambda m: pack_ft((m.epoch + rng.randrange(1, 0x7FFF))
                               & _EP_MASK, 0, 0),
         ]
-        tr, san, m = run_machine(2000 + seed)
+        tr, san, m = run_machine(spawn_child(seed, 2))
         corrupt = rng.choice(mutations)(m)
         with pytest.raises(SanitizerError):
             tr.emit("lock.word", node=0, mgr=m.mgr, lock=m.lock,

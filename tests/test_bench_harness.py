@@ -1,10 +1,13 @@
 """Tests for the bench-table formatting helpers."""
 
 import json
+import os
 
 import pytest
 
-from repro.bench import BenchTable, format_series, improvement_pct
+from repro.bench import (BenchTable, dump_tables, format_series,
+                         improvement_pct, replay)
+from repro.bench.harness import RENDERED
 
 
 class TestBenchTable:
@@ -36,6 +39,52 @@ class TestBenchTable:
     def test_empty_table_renders(self):
         t = BenchTable("empty", ["col"])
         assert "empty" in t.render()
+
+    def test_show_returns_serializable_dict(self, capsys):
+        t = BenchTable("x", ["a"], paper_ref="Fig 1")
+        t.add(42)
+        shown = t.show()
+        capsys.readouterr()
+        assert shown == t.to_dict()
+        json.dumps(shown)  # must survive a process boundary
+
+    def test_from_dict_roundtrip(self):
+        t = BenchTable("x", ["a", "b"], paper_ref="Fig 2")
+        t.add(1, 2.5)
+        clone = BenchTable.from_dict(t.to_dict())
+        assert clone.render() == t.render()
+
+
+class TestReplay:
+    def test_replay_reregisters_tables(self, capsys):
+        t = BenchTable("worker table", ["a"])
+        t.add(7)
+        before = len(RENDERED)
+        rebuilt = replay([t.to_dict()])
+        capsys.readouterr()
+        assert len(RENDERED) == before + 1
+        assert RENDERED[-1] == t.render()
+        assert rebuilt[0].render() == t.render()
+
+
+class TestDumpTables:
+    def test_same_title_no_longer_overwrites(self, tmp_path):
+        a = BenchTable("Fig 5: cascade", ["n"])
+        a.add(1)
+        b = BenchTable("Fig 5: cascade", ["n"])
+        b.add(2)
+        paths = dump_tables([a, b], str(tmp_path))
+        assert len(paths) == len(set(paths)) == 2
+        assert all(os.path.exists(p) for p in paths)
+        dumped = sorted(json.loads(open(p).read())["rows"][0][0]
+                        for p in paths)
+        assert dumped == [1, 2]
+
+    def test_titles_slugified(self, tmp_path):
+        t = BenchTable("Fig 3a: DDSS put() latency (us)", ["x"])
+        (path,) = dump_tables([t], str(tmp_path))
+        name = os.path.basename(path)
+        assert name == "fig_3a_ddss_put_latency_us.json"
 
 
 def test_improvement_pct():
