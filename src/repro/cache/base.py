@@ -168,7 +168,7 @@ class CoopCacheBase:
                 obs.metrics.counter("cache.evicts", node=target.id).inc()
             obs.trace.emit("cache.admit", node=target.id, doc=doc,
                            size=size, used=store.used,
-                           capacity=store.capacity)
+                           capacity=store.capacity, tok=token.hex())
         yield from self._evict_fixups(from_node, target, evicted)
 
     def _evict_fixups(self, actor: Node, owner: Node, evicted):
@@ -235,13 +235,17 @@ class CoopCacheBase:
         return None
 
     # -- stats + trace emission ----------------------------------------------
-    def _note_local_hit(self, proxy: Node, doc: int) -> None:
+    def _note_local_hit(self, proxy: Node, doc: int,
+                        token: bytes, t0: float) -> None:
         self.local_hits += 1
-        self._obs_access("cache.hit.local", proxy, doc)
+        self._obs_access("cache.hit.local", proxy, doc,
+                         tok=token.hex(), t0=t0)
 
-    def _note_remote_hit(self, proxy: Node, doc: int) -> None:
+    def _note_remote_hit(self, proxy: Node, doc: int,
+                         token: bytes, t0: float, holder: int) -> None:
         self.remote_hits += 1
-        self._obs_access("cache.hit.remote", proxy, doc)
+        self._obs_access("cache.hit.remote", proxy, doc,
+                         tok=token.hex(), t0=t0, holder=holder)
 
     def _note_miss(self, proxy: Node, doc: int) -> None:
         self.misses += 1
@@ -253,10 +257,11 @@ class CoopCacheBase:
         "cache.miss": "cache.misses",
     }
 
-    def _obs_access(self, etype: str, proxy: Node, doc: int) -> None:
+    def _obs_access(self, etype: str, proxy: Node, doc: int,
+                    **extra) -> None:
         obs = self.env.obs
         if obs is not None:
-            obs.trace.emit(etype, node=proxy.id, doc=doc)
+            obs.trace.emit(etype, node=proxy.id, doc=doc, **extra)
             obs.metrics.counter(self._ACCESS_COUNTERS[etype],
                                 node=proxy.id).inc()
 

@@ -28,9 +28,10 @@ class ApacheCache(CoopCacheBase):
 
     def fetch_gen(self, proxy: Node, doc: int):
         self._check_doc(doc)
+        t0 = self.env.now
         token = yield from self._local_get(proxy, doc)
         if token is not None:
-            self._note_local_hit(proxy, doc)
+            self._note_local_hit(proxy, doc, token, t0)
             return FetchResult("local", token)
         self._note_miss(proxy, doc)
         return MISS
@@ -51,15 +52,17 @@ class BasicCooperativeCache(CoopCacheBase):
 
     def fetch_gen(self, proxy: Node, doc: int):
         self._check_doc(doc)
+        t0 = self.env.now
         token = yield from self._local_get(proxy, doc)
         if token is not None:
-            self._note_local_hit(proxy, doc)
+            self._note_local_hit(proxy, doc, token, t0)
             return FetchResult("local", token)
         holder, _size = yield from self.directory.lookup(proxy, doc)
         if holder is not None and holder != proxy.id:
+            t0 = self.env.now  # pull interval starts after the lookup
             token = yield from self._pull(proxy, holder, doc)
             if token is not None:
-                self._note_remote_hit(proxy, doc)
+                self._note_remote_hit(proxy, doc, token, t0, holder)
                 # duplicate locally and advertise ourselves as a holder
                 yield from self._push(proxy, proxy, doc)
                 yield from self.directory.update(proxy, doc, proxy.id,
@@ -86,19 +89,21 @@ class CacheWithoutRedundancy(CoopCacheBase):
 
     def fetch_gen(self, proxy: Node, doc: int):
         self._check_doc(doc)
+        t0 = self.env.now
         home = self.directory.host_of(doc)
         if home.id == proxy.id:
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self._note_local_hit(proxy, doc)
+                self._note_local_hit(proxy, doc, token, t0)
                 return FetchResult("local", token)
             self._note_miss(proxy, doc)
             return MISS
         holder, _size = yield from self.directory.lookup(proxy, doc)
         if holder is not None:
+            t0 = self.env.now
             token = yield from self._pull(proxy, holder, doc)
             if token is not None:
-                self._note_remote_hit(proxy, doc)
+                self._note_remote_hit(proxy, doc, token, t0, holder)
                 return FetchResult("remote", token)
         self._note_miss(proxy, doc)
         return MISS
@@ -152,17 +157,19 @@ class HybridCache(CoopCacheBase):
 
     def fetch_gen(self, proxy: Node, doc: int):
         self._check_doc(doc)
+        t0 = self.env.now
         if self._small(doc):
             # BCC-style: local first, then any advertised holder
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self._note_local_hit(proxy, doc)
+                self._note_local_hit(proxy, doc, token, t0)
                 return FetchResult("local", token)
             holder, _size = yield from self.directory.lookup(proxy, doc)
             if holder is not None and holder != proxy.id:
+                t0 = self.env.now
                 token = yield from self._pull(proxy, holder, doc)
                 if token is not None:
-                    self._note_remote_hit(proxy, doc)
+                    self._note_remote_hit(proxy, doc, token, t0, holder)
                     yield from self._push(proxy, proxy, doc)
                     yield from self.directory.update(
                         proxy, doc, proxy.id, self.fileset.size(doc))
@@ -174,14 +181,15 @@ class HybridCache(CoopCacheBase):
         if home.id == proxy.id:
             token = yield from self._local_get(proxy, doc)
             if token is not None:
-                self._note_local_hit(proxy, doc)
+                self._note_local_hit(proxy, doc, token, t0)
                 return FetchResult("local", token)
         else:
             holder, _size = yield from self.directory.lookup(proxy, doc)
             if holder is not None:
+                t0 = self.env.now
                 token = yield from self._pull(proxy, holder, doc)
                 if token is not None:
-                    self._note_remote_hit(proxy, doc)
+                    self._note_remote_hit(proxy, doc, token, t0, holder)
                     return FetchResult("remote", token)
         self._note_miss(proxy, doc)
         return MISS

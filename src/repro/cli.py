@@ -275,6 +275,9 @@ def _obs_main(args) -> int:
     if args.json:
         obs.export_json(args.json)
         print(f"wrote {args.json}")
+    if args.trace:
+        obs.export_trace_json(args.trace)
+        print(f"wrote {args.trace}")
     summary = obs.to_dict()
     print(f"[{args.scenario}] sim time: {summary['sim_now_us']:.1f} us, "
           f"events: {summary['events']['emitted']}")
@@ -286,6 +289,100 @@ def _obs_main(args) -> int:
               f"{len(bad)} violation(s)")
         for v in bad[:10]:
             print(f"  [{v['sanitizer']}] t={v['t']:.1f} {v['msg']}")
+    return 1 if bad else 0
+
+
+# ---------------------------------------------------------------------------
+# check subcommand (trace-replay correctness oracles)
+# ---------------------------------------------------------------------------
+
+def _check_print_verdict(r: dict) -> None:
+    where = r.get("check") or r.get("trace")
+    kern = f" [{r['kernel']}]" if "kernel" in r else ""
+    print(f"[{where}]{kern} events={r['events']} "
+          f"verdict={r['verdict']}")
+    for oname in sorted(r["oracles"]):
+        o = r["oracles"][oname]
+        print(f"  {oname:6s} checked={o['checked']:6d} "
+              f"violations={len(o['violations'])}")
+        for v in o["violations"][:5]:
+            t = "end" if v["t"] is None else f"{v['t']:.1f}"
+            print(f"    t={t} #{v['index']} {v['msg']}")
+    for s in r.get("sanitizers", ())[:5]:
+        print(f"  [sanitizer {s['sanitizer']}] t={s['t']:.1f} {s['msg']}")
+    if "repro" in r:
+        rep = r["repro"]
+        print(f"  reproducer: {rep['kept_events']}/"
+              f"{rep['original_events']} events "
+              f"({rep['probes']} probes)")
+
+
+def _check_main(args) -> int:
+    import json as _json
+
+    from repro.verify import (CHECKS, check_trace, metamorphic_sweep,
+                              run_check)
+
+    if args.action == "list":
+        for name in sorted(CHECKS):
+            print(name)
+        return 0
+
+    if args.action == "trace":
+        if not args.names:
+            print("check trace requires a trace file path",
+                  file=sys.stderr)
+            return 2
+        results = [check_trace(p, shrink=not args.no_shrink)
+                   for p in args.names]
+    elif args.action == "meta":
+        rep = metamorphic_sweep(
+            checks=args.names or None,
+            seeds=[int(s) for s in args.seeds.split(",")],
+            node_counts=[int(n) for n in args.nodes.split(",")],
+            workers=args.workers)
+        print(f"[meta] runs={rep['runs']} pairs={rep['pairs']} "
+              f"kernel_mismatches={len(rep['kernel_mismatches'])} "
+              f"violations={len(rep['violations'])} "
+              f"verdict={rep['verdict']}")
+        for m in rep["kernel_mismatches"][:5]:
+            print(f"  MISMATCH {m['check']} seed={m['seed']}: "
+                  f"fast {m['fast_sha']} != slow {m['slow_sha']}")
+        for v in rep["violations"][:5]:
+            print(f"  VIOLATION {v['check']} [{v['kernel']}] "
+                  f"seed={v['seed']}: {v['violations']} finding(s)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(rep, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if rep["verdict"] == "ok" else 1
+    else:  # run
+        names = args.names or ["all"]
+        if "all" in names:
+            names = sorted(CHECKS)
+        unknown = [n for n in names if n not in CHECKS]
+        if unknown:
+            print(f"unknown check(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"available: {', '.join(sorted(CHECKS))}",
+                  file=sys.stderr)
+            return 2
+        kernels = (["fast", "slow"] if args.both_kernels
+                   else [args.kernel])
+        results = [run_check(n, seed=args.seed, kernel=k,
+                             shrink=not args.no_shrink)
+                   for n in names for k in kernels]
+
+    for r in results:
+        _check_print_verdict(r)
+    bad = [r for r in results if r["verdict"] != "ok"]
+    if args.json:
+        doc = {"results": results,
+               "verdict": "ok" if not bad else "violation"}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    print(f"{len(results) - len(bad)}/{len(results)} checks ok")
     return 1 if bad else 0
 
 
@@ -495,6 +592,9 @@ def main(argv=None) -> int:
     obsp.add_argument("--seed", type=int, default=0)
     obsp.add_argument("--json", metavar="PATH", default=None,
                       help="write the deterministic JSON export here")
+    obsp.add_argument("--trace", metavar="PATH", default=None,
+                      help="write the full-event trace export here "
+                           "(replayable with 'repro check trace')")
     obsp.add_argument("--no-sanitize", action="store_true",
                       help="trace + metrics only, no invariant checks")
     benchp = sub.add_parser(
@@ -516,6 +616,30 @@ def main(argv=None) -> int:
                              "with this many pool workers (0 = in-process;"
                              " wall-clock rates are only comparable "
                              "across runs at the same setting)")
+    checkp = sub.add_parser(
+        "check", help="replay traces against correctness oracles "
+                      "(locks / DDSS coherence / caching)")
+    checkp.add_argument("action",
+                        choices=["list", "run", "trace", "meta"])
+    checkp.add_argument("names", nargs="*",
+                        help="check names (or 'all') for run/meta; "
+                             "trace file path(s) for trace")
+    checkp.add_argument("--seed", type=int, default=0)
+    checkp.add_argument("--kernel", choices=["fast", "slow"],
+                        default="fast")
+    checkp.add_argument("--both-kernels", action="store_true",
+                        help="run every check under both event kernels")
+    checkp.add_argument("--no-shrink", action="store_true",
+                        help="skip reproducer shrinking on violation")
+    checkp.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable verdict here")
+    checkp.add_argument("--seeds", default="0,1",
+                        help="meta: comma-separated seed list")
+    checkp.add_argument("--nodes", default="0",
+                        help="meta: comma-separated node counts "
+                             "(0 = per-check default)")
+    checkp.add_argument("--workers", type=int, default=0,
+                        help="meta: lab pool workers (0 = in-process)")
     labp = sub.add_parser(
         "lab", help="parallel experiment sweeps with a resumable "
                     "result store")
@@ -571,6 +695,9 @@ def main(argv=None) -> int:
 
     if args.command == "obs":
         return _obs_main(args)
+
+    if args.command == "check":
+        return _check_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -14,7 +14,7 @@ operation result; use them from processes::
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 from dataclasses import replace
 from typing import Dict, Optional, Tuple, Union
 
@@ -37,9 +37,18 @@ __all__ = ["DDSSClient"]
 #: lock spin backoff (µs): initial, multiplier, cap
 _BACKOFF = (2.0, 2.0, 50.0)
 
-_owner_tokens = itertools.count(1)
 
 KeyOrMeta = Union[int, UnitMeta]
+
+#: payloads up to this many bytes are traced as full hex (enables prefix
+#: matching in the offline oracles); larger ones fall back to a digest
+_FP_MAX = 64
+
+
+def _fingerprint(data: bytes) -> str:
+    if len(data) <= _FP_MAX:
+        return data.hex()
+    return "b2:" + hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
 class DDSSClient:
@@ -53,8 +62,10 @@ class DDSSClient:
         self._meta_cache: Dict[int, UnitMeta] = {}
         #: local copies for DELTA/TEMPORAL: key -> (version, data, at)
         self._data_cache: Dict[int, Tuple[int, bytes, float]] = {}
-        #: distinct nonzero token so lock ownership is attributable
-        self._token = (node.id << 20) | next(_owner_tokens)
+        #: distinct nonzero token so lock ownership is attributable;
+        #: drawn from the environment (not a process global) so the
+        #: value — which reaches the trace — is per-run deterministic
+        self._token = (node.id << 20) | self.env.next_id("ddss-owner")
         # op counters for benches
         self.gets = 0
         self.puts = 0
@@ -102,6 +113,12 @@ class DDSSClient:
                                          {"op": "register", "meta": meta})
         meta = reply["meta"]
         self._meta_cache[meta.key] = meta
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("ddss.alloc", node=self.node.id, key=meta.key,
+                           model=meta.coherence.name, nbytes=meta.size,
+                           delta=meta.delta, ttl_us=meta.ttl_us,
+                           replicas=len(meta.replicas))
         return meta.key
 
     def free(self, key: int) -> Event:
@@ -146,6 +163,7 @@ class DDSSClient:
         return ev
 
     def _put(self, key, data):
+        t0 = self.env.now
         meta = yield from self._meta(key)
         if len(data) > meta.size:
             raise DDSSError(
@@ -154,16 +172,24 @@ class DDSSClient:
         self._obs_op("ddss.put", meta.key)
         yield from self._ipc_hop()
         if meta.replicas:
-            yield from self._put_replicated(meta, data)
-            return None
+            version = yield from self._put_replicated(meta, data)
+        else:
+            version = yield from self._put_primary(meta, data)
+        self._obs_data_done("ddss.put.done", meta, t0, version, data)
+        return None
+
+    def _put_primary(self, meta: UnitMeta, data: bytes):
+        """Single-copy put; returns the committed version (None when the
+        model carries no version counter)."""
         nic = self.node.nic
         model = meta.coherence
         if model.locks_writes:
             yield from self._spin_lock(meta)
             yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
-            yield from self._bump_version_locked(meta)
+            version = yield from self._bump_version_locked(meta)
             yield from self._unlock(meta)
-        elif model.versioned:
+            return version
+        if model.versioned:
             # fetch-and-add orders this write among concurrent writers and
             # hands us the new version for free
             old = yield nic.faa(meta.home, meta.addr + VERSION_OFF,
@@ -172,16 +198,18 @@ class DDSSClient:
             if model.cacheable:  # DELTA: our own write is the freshest copy
                 self._data_cache[meta.key] = (old + 1, bytes(data),
                                               self.env.now)
-        elif model is Coherence.READ:
+            return old + 1
+        if model is Coherence.READ:
             # single combined (version, data) write = atomic snapshot
             version = self._next_local_version(meta.key)
             blob = version.to_bytes(8, "big") + data
             yield nic.rdma_write(meta.home, meta.addr + VERSION_OFF,
                                  meta.rkey, blob)
-        else:  # NULL, TEMPORAL
-            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
-            if model is Coherence.TEMPORAL:
-                self._data_cache[meta.key] = (0, bytes(data), self.env.now)
+            return version
+        # NULL, TEMPORAL
+        yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
+        if model is Coherence.TEMPORAL:
+            self._data_cache[meta.key] = (0, bytes(data), self.env.now)
         return None
 
     def get(self, key: KeyOrMeta, length: Optional[int] = None) -> Event:
@@ -193,6 +221,7 @@ class DDSSClient:
         return ev
 
     def _get(self, key, length):
+        t0 = self.env.now
         meta = yield from self._meta(key)
         n = meta.size if length is None else length
         if n > meta.size:
@@ -207,21 +236,32 @@ class DDSSClient:
             if cached is not None and (self.env.now - cached[2]) <= meta.ttl_us:
                 self.cache_hits += 1
                 self._obs_op("ddss.cache_hit", meta.key)
-                return cached[1][:n]
+                data = cached[1][:n]
+                self._obs_data_done("ddss.get.done", meta, t0, None, data,
+                                    hit=True, age_us=self.env.now - cached[2])
+                return data
 
         last_exc = None
         for view in self._views(meta):
             try:
-                return (yield from self._get_at(view, n))
+                data, version, hit, age_us = yield from self._get_at(view, n)
             except (RdmaError, FaultError) as exc:
                 self.failovers += 1
                 last_exc = exc
+                continue
+            self._obs_data_done("ddss.get.done", meta, t0, version, data,
+                                hit=hit, age_us=age_us)
+            return data
         raise DDSSError(
             f"unit {meta.key}: no reachable copy "
             f"({1 + len(meta.replicas)} tried)") from last_exc
 
     def _get_at(self, meta: UnitMeta, n: int):
-        """One read attempt against one copy (``meta`` homes the copy)."""
+        """One read attempt against one copy (``meta`` homes the copy).
+
+        Returns ``(data, version, hit, age_us)``; version is ``None``
+        when the model carries no version counter on the read path.
+        """
         nic = self.node.nic
         model = meta.coherence
 
@@ -232,14 +272,15 @@ class DDSSClient:
                 if version - cached[0] <= meta.delta:
                     self.cache_hits += 1
                     self._obs_op("ddss.cache_hit", meta.key)
-                    return cached[1][:n]
+                    return (cached[1][:n], cached[0], True,
+                            self.env.now - cached[2])
 
         if model.locks_reads:
             yield from self._spin_lock(meta)
             data = yield nic.rdma_read(meta.home, meta.data_addr,
                                        meta.rkey, n)
             yield from self._unlock(meta)
-            return data
+            return data, None, False, None
 
         if model in (Coherence.READ, Coherence.VERSION, Coherence.DELTA):
             # one read covering (version, data): an atomic snapshot
@@ -250,12 +291,12 @@ class DDSSClient:
             if model.cacheable:
                 self._data_cache[meta.key] = (version, bytes(data),
                                               self.env.now)
-            return data
+            return data, version, False, None
 
         data = yield nic.rdma_read(meta.home, meta.data_addr, meta.rkey, n)
         if model is Coherence.TEMPORAL:
             self._data_cache[meta.key] = (0, bytes(data), self.env.now)
-        return data
+        return data, None, False, None
 
     @staticmethod
     def _views(meta: UnitMeta):
@@ -313,8 +354,9 @@ class DDSSClient:
             if model.cacheable:  # DELTA: our write is the freshest copy
                 self._data_cache[meta.key] = (version, bytes(data),
                                               self.env.now)
-            return
+            return version
         wrote = 0
+        version = None
         if model is Coherence.READ:
             version = self._next_local_version(meta.key)
             blob = version.to_bytes(8, "big") + data
@@ -337,6 +379,7 @@ class DDSSClient:
                 self._data_cache[meta.key] = (0, bytes(data), self.env.now)
         if wrote == 0:
             raise DDSSError(f"unit {meta.key}: put reached no copy")
+        return version
 
     def get_version(self, key: KeyOrMeta) -> Event:
         """Read the unit's version counter."""
@@ -403,11 +446,13 @@ class DDSSClient:
         return int.from_bytes(blob, "big")
 
     def _bump_version_locked(self, meta: UnitMeta):
-        """Version bump while holding the lock (no atomicity needed)."""
+        """Version bump while holding the lock (no atomicity needed);
+        returns the new version."""
         version = yield from self._read_version(meta)
         yield self.node.nic.rdma_write(
             meta.home, meta.addr + VERSION_OFF, meta.rkey,
             (version + 1).to_bytes(8, "big"))
+        return version + 1
 
     def _spin_lock(self, meta: UnitMeta):
         delay, mult, cap = _BACKOFF
@@ -435,6 +480,19 @@ class DDSSClient:
         if obs is not None:
             obs.trace.emit(etype, node=self.node.id, key=key)
             obs.metrics.counter(f"{etype}s", node=self.node.id).inc()
+
+    def _obs_data_done(self, etype: str, meta: UnitMeta, t0: float,
+                       version: Optional[int], data: bytes,
+                       **extra) -> None:
+        """Completion event for the offline coherence oracles: the op's
+        [t0, now] interval, the committed/observed version, and a
+        payload fingerprint."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.node.id, key=meta.key,
+                           model=meta.coherence.name, t0=t0,
+                           version=version, nbytes=len(data),
+                           data=_fingerprint(bytes(data)), **extra)
 
     def _obs_lock(self, etype: str, meta: UnitMeta) -> None:
         obs = self.env.obs

@@ -78,7 +78,8 @@ class LockManagerBase:
             raise LockError(f"lock id {lock_id} out of range")
 
     # -- safety ledger ----------------------------------------------------
-    def _ledger_grant(self, lock_id: int, token: int, mode: LockMode) -> None:
+    def _ledger_grant(self, lock_id: int, token: int, mode: LockMode,
+                      ep: Optional[int] = None) -> None:
         held = self.holders.setdefault(lock_id, set())
         if mode is LockMode.EXCLUSIVE and held:
             raise LockError(
@@ -90,7 +91,10 @@ class LockManagerBase:
                 f"SAFETY: shared grant of lock {lock_id} to {token} "
                 f"while exclusively held")
         held.add((token, mode))
-        self._obs_ledger("lock.grant", lock_id, token, mode=mode.name)
+        extra = {"mode": mode.name}
+        if ep is not None:
+            extra["ep"] = ep
+        self._obs_ledger("lock.grant", lock_id, token, **extra)
 
     def _ledger_release(self, lock_id: int, token: int) -> LockMode:
         held = self.holders.setdefault(lock_id, set())
@@ -239,9 +243,26 @@ class LockClient:
         q.cancel_get(get)
         return None
 
+    def _obs_enqueue(self, lock_id: int, mode: LockMode,
+                     prev: int = 0, ep: int = 0) -> None:
+        """Trace the instant this requester landed in the wait queue.
+
+        ``prev`` is the predecessor read atomically out of the lock
+        word (the old tail), so the emitted chain reflects the true
+        landing order at the home even when completions arrive at the
+        requesters out of order.
+        """
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("lock.enqueue", node=self.node.id,
+                           mgr=self.manager.obs_name, lock=lock_id,
+                           token=self.token, mode=mode.name,
+                           prev=prev, ep=ep)
+
     # -- ledger shims ----------------------------------------------------
-    def _granted(self, lock_id: int, mode: LockMode) -> None:
-        self.manager._ledger_grant(lock_id, self.token, mode)
+    def _granted(self, lock_id: int, mode: LockMode,
+                 ep: Optional[int] = None) -> None:
+        self.manager._ledger_grant(lock_id, self.token, mode, ep=ep)
 
     def _released(self, lock_id: int) -> LockMode:
         return self.manager._ledger_release(lock_id, self.token)

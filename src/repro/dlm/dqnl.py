@@ -74,6 +74,7 @@ class DQNLClient(LockClient):
             # CAS failed: retry against the value we just observed (this
             # also covers the word having gone back to 0 underneath us)
             expected = old
+        self._obs_enqueue(lock_id, mode, prev=expected)
         if expected != 0:
             # enqueued behind the previous tail: announce, await hand-off
             self._peer_send(expected, {"t": "succ", "lock": lock_id,

@@ -347,6 +347,7 @@ class NCoSEDClient(LockClient):
         old = yield self.node.nic.faa(home, addr, rkey, 1)
         self._obs_word(lock_id, old)
         tail, _count = unpack(old)
+        self._obs_enqueue(lock_id, LockMode.SHARED, prev=tail)
         if tail == 0:
             return  # granted immediately, concurrently with other shareds
         # an exclusive is pending/holding: register with the tail and wait
@@ -368,6 +369,7 @@ class NCoSEDClient(LockClient):
             self._obs_word(lock_id, old)
             if old == 0:
                 self._tenures[lock_id] = tenure
+                self._obs_enqueue(lock_id, LockMode.EXCLUSIVE, prev=0)
                 return  # free word: granted
             tail, count = unpack(old)
             old2 = yield nic.cas(home, addr, rkey, old,
@@ -378,6 +380,7 @@ class NCoSEDClient(LockClient):
             # enqueued: we are the new tail; shared requests from now on
             # register with us, so open the tenure before waiting
             self._tenures[lock_id] = tenure
+            self._obs_enqueue(lock_id, LockMode.EXCLUSIVE, prev=tail)
             pred = tail if tail != 0 else None
             if pred is not None:
                 self._peer_send(pred, {"t": "nc", "kind": "xenq",
@@ -564,7 +567,7 @@ class NCoSEDClient(LockClient):
         mgr._revoked.pop((lock_id, self.token), None)
         self._held[lock_id] = mode
         self._grant_ep[lock_id] = ep
-        self._granted(lock_id, mode)
+        self._granted(lock_id, mode, ep=ep)
 
     def _acquire_shared_ft(self, lock_id: int):
         mgr = self.manager
@@ -576,6 +579,7 @@ class NCoSEDClient(LockClient):
             # the word was reclaimed around our increment: the +1 was
             # (or will be) wiped with the old generation
             raise _Stale(f"lock {lock_id} reclaimed around shared FAA")
+        self._obs_enqueue(lock_id, LockMode.SHARED, prev=tail, ep=ep)
         if tail == 0:
             return ep  # granted immediately
         self._peer_send_ft(tail, {"t": "nc", "kind": "senq",
@@ -614,6 +618,7 @@ class NCoSEDClient(LockClient):
                 continue  # lost the race (or raced a reclaim): re-read
             tenure.ep = ep
             self._tenures[lock_id] = tenure
+            self._obs_enqueue(lock_id, LockMode.EXCLUSIVE, prev=tail, ep=ep)
             pred = tail if tail != 0 else None
             if pred is not None:
                 self._peer_send_ft(pred, {"t": "nc", "kind": "xenq",

@@ -57,6 +57,13 @@ class SRSLManager(LockManagerBase):
             if body["op"] == "acquire":
                 req = (body["token"], LockMode(body["mode"]))
                 state.queue.append(req)
+                obs = self.env.obs
+                if obs is not None:
+                    # server decision order IS the queue order for SRSL
+                    obs.trace.emit("lock.enqueue", node=node.id,
+                                   mgr=self.obs_name, lock=body["lock"],
+                                   token=req[0], mode=req[1].name,
+                                   prev=0, ep=0)
                 yield from self._drain(node, body["lock"], state)
             elif body["op"] == "release":
                 state.holders -= 1

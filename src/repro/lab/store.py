@@ -70,18 +70,25 @@ class ResultStore:
     def _read_jsonl(path: str) -> List[Dict[str, Any]]:
         if not os.path.exists(path):
             return []
-        out = []
         with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    out.append(json.loads(line))
-                except ValueError:
-                    # truncated tail from a mid-write kill: ignore; the
+            lines = fh.read().split("\n")
+        out = []
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                out.append(json.loads(stripped))
+            except ValueError as exc:
+                if all(not rest.strip() for rest in lines[lineno:]):
+                    # truncated tail from a mid-write kill: forgive; the
                     # run will simply re-execute on resume
-                    continue
+                    break
+                # unparseable line *followed by* more records is not a
+                # torn tail — it is corruption, and skipping it would
+                # silently drop a completed run on resume
+                raise ConfigError(
+                    f"corrupt record at {path}:{lineno}: {exc}")
         return out
 
     # -- sweep metadata -------------------------------------------------

@@ -171,6 +171,31 @@ class Observability:
                            for name in sorted(self.sanitizers)},
         }
 
+    def trace_dict(self) -> dict:
+        """Full-event trace snapshot for offline replay (``repro.verify``).
+
+        Unlike :meth:`to_dict` (counts only, bounded size) this carries
+        every buffered event verbatim, so it is opt-in.  ``emitted`` >
+        ``len(events)`` means the ring overflowed and the trace is not
+        replayable end to end — the verify layer refuses such traces.
+        """
+        return {
+            "format": "repro-trace-v1",
+            "sim_now_us": self.env.now,
+            "emitted": self.trace.emitted,
+            "events": [[ev.t, ev.node, ev.etype, ev.fields]
+                       for ev in self.trace],
+        }
+
+    def export_trace_json(self, path: Optional[str] = None) -> str:
+        """Serialize :meth:`trace_dict` (deterministic, sorted keys)."""
+        text = json.dumps(self.trace_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return text
+
     def export_json(self, path: Optional[str] = None) -> str:
         """Serialize :meth:`to_dict`; optionally write it to ``path``.
 

@@ -52,8 +52,12 @@ TAXONOMY: Dict[str, tuple] = {
     # -- locks (repro.dlm) ---------------------------------------------
     "lock.request": (("mgr", "lock", "token", "mode"),
                      "client began an acquire"),
+    "lock.enqueue": (("mgr", "lock", "token", "mode", "prev", "ep"),
+                     "requester landed in the wait queue; prev is the "
+                     "queue predecessor read atomically from the lock "
+                     "word (0 = none; server decision order for SRSL)"),
     "lock.grant": (("mgr", "lock", "token", "mode"),
-                   "ledger recorded a grant"),
+                   "ledger recorded a grant (ep added under FT)"),
     "lock.release": (("mgr", "lock", "token"),
                      "ledger recorded a voluntary release"),
     "lock.revoke": (("mgr", "lock", "token"),
@@ -72,16 +76,29 @@ TAXONOMY: Dict[str, tuple] = {
     "flow.ring.free": (("sender", "nbytes"),
                        "receiver ack freed ring space"),
     # -- cooperative cache (repro.cache) -------------------------------
-    "cache.hit.local": (("doc",), "served from the proxy's own store"),
-    "cache.hit.remote": (("doc",), "served by one-sided pull from a peer"),
+    "cache.hit.local": (("doc", "tok", "t0"),
+                        "served from the proxy's own store (tok = content "
+                        "fingerprint served; t0 = lookup start)"),
+    "cache.hit.remote": (("doc", "tok", "t0", "holder"),
+                         "served by one-sided pull from a peer store"),
     "cache.miss": (("doc",), "not cached anywhere reachable"),
-    "cache.admit": (("doc", "size", "used", "capacity"),
+    "cache.admit": (("doc", "size", "used", "capacity", "tok"),
                     "document inserted into a store"),
     "cache.evict": (("doc", "size"),
                     "document evicted (capacity or retirement)"),
     # -- DDSS (repro.ddss) ---------------------------------------------
     "ddss.get": (("key",), "data-plane get issued"),
     "ddss.put": (("key",), "data-plane put issued"),
+    "ddss.alloc": (("key", "model", "nbytes", "delta", "ttl_us",
+                    "replicas"),
+                   "key allocated with its coherence contract"),
+    "ddss.get.done": (("key", "model", "t0", "version", "nbytes", "data",
+                       "hit", "age_us"),
+                      "get returned to the caller (t0 = start; version "
+                      "None when the model carries none; data = hex "
+                      "payload or blake2b digest for large payloads)"),
+    "ddss.put.done": (("key", "model", "t0", "version", "nbytes", "data"),
+                      "put completed (fields as ddss.get.done)"),
     "ddss.cache_hit": (("key",),
                        "get served from the local DELTA/TEMPORAL copy"),
     "ddss.lock.acquire": (("home", "addr", "token"),

@@ -75,6 +75,9 @@ class Tracer:
     def __len__(self) -> int:
         return len(self.ring)
 
+    def __iter__(self):
+        return iter(self.ring)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Tracer emitted={self.emitted} "
                 f"buffered={len(self.ring)}/{self.ring.maxlen}>")

@@ -20,7 +20,7 @@ These classes are a focused micro-model used by the E10 bench:
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.sim import Resource, Store
+from repro.sim import Event, Resource, Store
 
 __all__ = ["FlowReceiver", "CreditFlowSender", "PacketizedFlowSender"]
 
@@ -68,6 +68,12 @@ class CreditFlowSender:
         rnode = self.receiver.node
         t0 = env.now
         inflight = Store(env)
+        # Per-stream completion: signalled by rx_side once *this* stream's
+        # n_msgs have drained.  Gating on the receiver's cumulative
+        # ``delivered`` counter would let a second stream() against the
+        # same FlowReceiver return early, and polling quantized the
+        # measured elapsed time to the poll period.
+        drained_all = Event(env)
 
         sender_id = self.node.id
         capacity = self.receiver.nbufs
@@ -99,6 +105,7 @@ class CreditFlowSender:
                     n = acked
                     ret.add_callback(lambda _ev, n=n: credits_back(n))
                     acked = 0
+            drained_all.succeed()
 
         env.process(rx_side(), name="credit-rx")
         for _ in range(n_msgs):
@@ -111,9 +118,7 @@ class CreditFlowSender:
             done = fabric.transfer(self.node.id, rnode.id,
                                    msg_bytes + fabric.params.header_bytes)
             done.add_callback(lambda _ev: inflight.try_put(1))
-        # wait until everything is drained
-        while self.receiver.delivered < n_msgs:
-            yield env.timeout(10.0)
+        yield drained_all
         elapsed = env.now - t0
         return (n_msgs * msg_bytes) / elapsed if elapsed > 0 else 0.0
 
@@ -137,6 +142,7 @@ class PacketizedFlowSender:
         t0 = env.now
         inflight = Store(env)
         space_freed = Store(env)
+        drained_all = Event(env)  # per-stream; see CreditFlowSender.stream
         # packed wire footprint: payload + a small per-message header
         footprint = msg_bytes + 8
 
@@ -167,6 +173,7 @@ class PacketizedFlowSender:
                     ret.add_callback(lambda _ev, f=f: space_back(f))
                     drained = 0
                     freed = 0
+            drained_all.succeed()
 
         env.process(rx_side(), name="packetized-rx")
         for _ in range(n_msgs):
@@ -182,7 +189,6 @@ class PacketizedFlowSender:
             done = fabric.transfer(self.node.id, rnode.id,
                                    footprint + p.header_bytes)
             done.add_callback(lambda _ev: inflight.try_put(1))
-        while self.receiver.delivered < n_msgs:
-            yield env.timeout(10.0)
+        yield drained_all
         elapsed = env.now - t0
         return (n_msgs * msg_bytes) / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,51 @@
+"""Offline trace-replay correctness oracles (``repro check``).
+
+Differential checking for the protocol layers: a run's full event trace
+(``repro-trace-v1``, exported by the obs layer) is replayed against
+sequential reference models — the *oracles* — which flag the first
+divergence from each protocol's contract:
+
+* :class:`LockOracle` — mutual exclusion, FIFO/fairness, and epoch
+  fencing for the three DLM designs (N-CoSED, DQNL, SRSL);
+* :class:`DDSSOracle` — per-coherence-model read/write contracts
+  (atomic snapshots, serialized puts, version monotonicity, DELTA and
+  TEMPORAL staleness bounds, lost updates);
+* :class:`CacheOracle` — cooperative-cache hits serve the committed
+  content from a store that really held it, with exact accounting.
+
+On a violation, :func:`shrink` reduces the trace to a small reproducer
+(truncate → scope filter → verified prefix bisection).  Packaged check
+scenarios live in :data:`CHECKS`; :func:`run_check` / :func:`run_suite`
+produce machine-readable verdicts and :func:`metamorphic_sweep` drives
+the same checks across kernels, seeds, and node counts through
+:mod:`repro.lab`, diffing the deterministic exports.
+"""
+
+from .trace import TRACE_FORMAT, Oracle, TraceView, replay, replay_fresh
+from .locks import LockOracle
+from .ddss import DDSSOracle
+from .cache import CacheOracle
+from .shrink import shrink
+from .suites import (ALL_ORACLES, CHECKS, canonical_trace_sha,
+                     check_scenario, check_trace, run_check, run_suite)
+from .metamorphic import metamorphic_sweep
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceView",
+    "Oracle",
+    "replay",
+    "replay_fresh",
+    "LockOracle",
+    "DDSSOracle",
+    "CacheOracle",
+    "shrink",
+    "ALL_ORACLES",
+    "CHECKS",
+    "canonical_trace_sha",
+    "check_scenario",
+    "check_trace",
+    "run_check",
+    "run_suite",
+    "metamorphic_sweep",
+]

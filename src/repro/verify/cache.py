@@ -1,0 +1,143 @@
+"""Cooperative-cache oracle: hits serve real, current content.
+
+Replays ``cache.admit`` / ``cache.evict`` / ``cache.hit.*`` against a
+reference copy of every store:
+
+* **residency** — a hit must fall inside a ``[admit, evict]`` interval
+  of the serving store (local hits against the proxy's own store,
+  remote hits against the claimed holder's).  Hit events carry ``t0``,
+  the instant the lookup started, because a concurrent evict may land
+  between the lookup and the hit's emission — the interval check is
+  therefore against ``t0``, closed on both ends.
+* **content** — the token served must equal the token admitted by the
+  covering interval: a hit can never serve bytes other than the
+  committed document content.  This is the directory/state agreement
+  check — a stale directory hint is legal (the probe misses), but a
+  hit claiming holder H is only legal if H really held the doc.
+* **accounting** — ``used`` equals the sum of resident sizes and never
+  exceeds ``capacity``; evictions name resident documents.
+
+All five schemes (AC/BCC/CCWR/MTACC/HYBCC) emit the same event shapes,
+so one oracle covers them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .trace import Oracle, TraceEvent
+
+__all__ = ["CacheOracle"]
+
+
+class _Interval:
+    __slots__ = ("t_admit", "t_evict", "tok")
+
+    def __init__(self, t_admit: float, tok: str):
+        self.t_admit = t_admit
+        self.t_evict = None  # open
+        self.tok = tok
+
+
+class CacheOracle(Oracle):
+    NAME = "cache"
+    PREFIXES = ("cache.",)
+
+    def __init__(self):
+        super().__init__()
+        #: node -> doc -> (size, tok) currently resident
+        self._stores: Dict[int, Dict[int, Tuple[int, str]]] = {}
+        #: (node, doc) -> admit/evict intervals, in time order
+        self._history: Dict[Tuple[int, int], List[_Interval]] = {}
+        self._capacity: Dict[int, int] = {}
+
+    def feed(self, idx: int, ev: TraceEvent) -> None:
+        handler = getattr(self, "_on_" + ev.etype.split(".")[1], None)
+        if handler is not None:
+            handler(idx, ev)
+
+    # -- store replay ---------------------------------------------------
+    def _on_admit(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        node, doc = ev.node, f["doc"]
+        store = self._stores.setdefault(node, {})
+        hist = self._history.setdefault((node, doc), [])
+        if doc in store:
+            # refresh/overwrite: the old interval ends here
+            if hist:
+                hist[-1].t_evict = ev.t
+        store[doc] = (f["size"], f.get("tok"))
+        hist.append(_Interval(ev.t, f.get("tok")))
+        used = sum(size for size, _tok in store.values())
+        if f["used"] != used:
+            self.flag(idx, ev,
+                      f"accounting mismatch after admit: store reports "
+                      f"used={f['used']} but resident sizes sum to {used}",
+                      node=node, doc=doc)
+        cap = f["capacity"]
+        prev_cap = self._capacity.setdefault(node, cap)
+        if cap != prev_cap:
+            self.flag(idx, ev,
+                      f"store capacity changed {prev_cap} -> {cap}",
+                      node=node, doc=doc)
+        if f["used"] > cap:
+            self.flag(idx, ev,
+                      f"store over capacity: used={f['used']} > "
+                      f"capacity={cap}", node=node, doc=doc)
+
+    def _on_evict(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        node, doc = ev.node, f["doc"]
+        store = self._stores.setdefault(node, {})
+        entry = store.pop(doc, None)
+        if entry is None:
+            self.flag(idx, ev,
+                      f"evict of doc {doc} which is not resident on "
+                      f"node {node}", node=node, doc=doc)
+            return
+        if entry[0] != f["size"]:
+            self.flag(idx, ev,
+                      f"evict size {f['size']} != admitted size "
+                      f"{entry[0]}", node=node, doc=doc)
+        hist = self._history.get((node, doc))
+        if hist:
+            hist[-1].t_evict = ev.t
+
+    # -- hit checks -----------------------------------------------------
+    def _serving_intervals(self, node: int, doc: int, t0: float):
+        """Every interval covering t0 (closed: an evict landing exactly
+        between the lookup and the hit's emission still covers it)."""
+        return [iv for iv in self._history.get((node, doc), ())
+                if iv.t_admit <= t0 and (iv.t_evict is None
+                                         or iv.t_evict >= t0)]
+
+    def _check_hit(self, idx: int, ev: TraceEvent, holder: int,
+                   kind: str) -> None:
+        f = ev.fields
+        doc = f["doc"]
+        t0 = f.get("t0", ev.t)
+        ivs = self._serving_intervals(holder, doc, t0)
+        scope = {"node": ev.node, "doc": doc, "holder": holder}
+        if not ivs:
+            self.flag(idx, ev,
+                      f"{kind} hit served doc {doc} from node {holder} "
+                      f"which did not hold it at t0={t0:.3f}", **scope)
+            return
+        tok = f.get("tok")
+        if tok is not None and not any(
+                iv.tok is None or iv.tok == tok for iv in ivs):
+            self.flag(idx, ev,
+                      f"{kind} hit served stale content for doc {doc}: "
+                      f"token {tok} but the resident copy holds "
+                      f"{ivs[-1].tok}", **scope)
+
+    def _on_hit(self, idx: int, ev: TraceEvent) -> None:
+        kind = ev.etype.rsplit(".", 1)[1]  # local | remote
+        if kind == "local":
+            self._check_hit(idx, ev, ev.node, "local")
+        else:
+            holder = ev.fields.get("holder", ev.node)
+            self._check_hit(idx, ev, holder, "remote")
+
+    def _on_miss(self, idx: int, ev: TraceEvent) -> None:
+        pass  # counted via ``checked``; nothing to verify

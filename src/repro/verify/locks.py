@@ -1,0 +1,286 @@
+"""Mutual-exclusion + FIFO/fairness oracle for the three DLM designs.
+
+The reference model is a per-lock automaton over the ledger event
+stream (``lock.request`` / ``lock.enqueue`` / ``lock.grant`` /
+``lock.release`` / ``lock.revoke`` / ``lock.reclaim`` / ``lock.word``):
+
+* **Mutual exclusion** — an exclusive grant requires an empty holder
+  set; a shared grant requires no exclusive holder.
+* **FIFO fairness** — for the one-sided schemes (N-CoSED, DQNL) every
+  ``lock.enqueue`` carries the predecessor token read *atomically* out
+  of the lock word (the old tail), so the emitted chain reflects the
+  true landing order at the home even when verb completions reach the
+  requesters out of order.  A grant none of whose same-epoch enqueue
+  attempts has a granted (or nil) chain predecessor is an overtake —
+  "any attempt" because under faults a retrying client re-enqueues and
+  may then consume the hand-off its earlier attempt earned.  For SRSL the server emits
+  enqueues in decision order and the check is positional: two granted
+  requests where either is exclusive must be granted in queue order
+  (shared batches may reorder among themselves).
+* **Epoch fencing** (FT N-CoSED) — grants carry the epoch they were
+  issued under and must match the current epoch established by the
+  authoritative ``lock.reclaim`` stream; reclaims advance the epoch by
+  exactly one (mod 2^16) and every holder alive at a reclaim must be
+  revoked — a surviving zombie is flagged at end of trace.
+* **Word well-formedness** — observed lock words must name known
+  tokens and never a *future* epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .trace import Oracle, TraceEvent
+
+__all__ = ["LockOracle"]
+
+_EP_MASK = 0xFFFF
+_F24 = (1 << 24) - 1
+_F32 = (1 << 32) - 1
+
+
+def _ep_behind(ep: int, cur: int) -> bool:
+    """True when ``ep`` is strictly behind ``cur`` (wrap-aware)."""
+    return 0 < ((cur - ep) & _EP_MASK) < 0x8000
+
+
+def _ep_ahead(ep: int, cur: int) -> bool:
+    return 0 < ((ep - cur) & _EP_MASK) < 0x8000
+
+
+class _LockState:
+    __slots__ = ("epoch", "requests", "holders", "zombies",
+                 "enqueues", "grants")
+
+    def __init__(self):
+        self.epoch = 0
+        #: token -> list of pending request modes (FIFO per token)
+        self.requests: Dict[int, List[str]] = {}
+        #: token -> (mode, ep, grant index)
+        self.holders: Dict[int, Tuple[str, int, int]] = {}
+        #: holders caught by a reclaim, awaiting their lock.revoke
+        self.zombies: Dict[int, Tuple[str, int, int]] = {}
+        #: enqueue records: dicts with token/mode/prev/ep/idx/grant_idx
+        self.enqueues: List[dict] = []
+        #: (token, ep, index) for every grant, in trace order
+        self.grants: List[Tuple[int, int, int]] = []
+
+
+class LockOracle(Oracle):
+    NAME = "locks"
+    PREFIXES = ("lock.",)
+
+    def __init__(self):
+        super().__init__()
+        self._locks: Dict[Tuple[str, int], _LockState] = {}
+        #: mgr -> tokens seen requesting (the token registry we trust)
+        self._tokens: Dict[str, Set[int]] = {}
+
+    # -- helpers --------------------------------------------------------
+    def _state(self, ev: TraceEvent) -> _LockState:
+        key = (ev.fields["mgr"], ev.fields["lock"])
+        st = self._locks.get(key)
+        if st is None:
+            st = self._locks[key] = _LockState()
+        return st
+
+    @staticmethod
+    def _scheme(mgr: str) -> str:
+        return mgr.rsplit("-", 1)[0]
+
+    def _scope(self, ev: TraceEvent) -> dict:
+        return {"mgr": ev.fields["mgr"], "lock": ev.fields["lock"]}
+
+    # -- replay ---------------------------------------------------------
+    def feed(self, idx: int, ev: TraceEvent) -> None:
+        handler = getattr(self, "_on_" + ev.etype.split(".", 1)[1], None)
+        if handler is not None:
+            handler(idx, ev)
+
+    def _on_request(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        self._tokens.setdefault(f["mgr"], set()).add(f["token"])
+        st = self._state(ev)
+        st.requests.setdefault(f["token"], []).append(f["mode"])
+
+    def _on_enqueue(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        if f["mode"] not in st.requests.get(f["token"], ()):
+            self.flag(idx, ev,
+                      f"enqueue by token {f['token']} without a pending "
+                      f"{f['mode']} request", **self._scope(ev))
+        st.enqueues.append({
+            "token": f["token"], "mode": f["mode"],
+            "prev": f.get("prev", 0), "ep": f.get("ep", 0),
+            "idx": idx, "grant_idx": None, "void": False,
+        })
+
+    def _on_grant(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        token, mode = f["token"], f["mode"]
+        ep = f.get("ep", 0)
+        scope = self._scope(ev)
+
+        # epoch fencing: a grant must be issued under the current epoch
+        if "ep" in f and ep != st.epoch:
+            kind = "stale" if _ep_behind(ep, st.epoch) else "future"
+            self.flag(idx, ev,
+                      f"grant to token {token} fenced to {kind} epoch "
+                      f"{ep} (current {st.epoch})", **scope)
+
+        # a grant consumes a pending request of the same mode
+        pending = st.requests.get(token, [])
+        if mode in pending:
+            pending.remove(mode)
+        else:
+            self.flag(idx, ev,
+                      f"grant to token {token} without a pending "
+                      f"{mode} request", **scope)
+
+        # mutual exclusion against live (non-zombie) holders
+        if mode == "EXCLUSIVE" and st.holders:
+            self.flag(idx, ev,
+                      f"exclusive grant to token {token} while held by "
+                      f"{sorted(st.holders)}", **scope)
+        elif mode == "SHARED" and any(
+                m == "EXCLUSIVE" for m, _e, _i in st.holders.values()):
+            self.flag(idx, ev,
+                      f"shared grant to token {token} while exclusively "
+                      f"held", **scope)
+
+        self._check_fairness(idx, ev, st, token, mode, ep, scope)
+        st.holders[token] = (mode, ep, idx)
+        st.grants.append((token, ep, idx))
+
+    def _check_fairness(self, idx, ev, st, token, mode, ep, scope) -> None:
+        scheme = self._scheme(ev.fields["mgr"])
+        cands = [c for c in st.enqueues
+                 if (c["token"] == token and c["grant_idx"] is None
+                     and not c["void"]
+                     and (scheme == "srsl" or c["ep"] == ep))]
+        if not cands:
+            self.flag(idx, ev,
+                      f"grant to token {token} with no matching enqueue "
+                      f"(epoch {ep})", **scope)
+            return
+        if scheme == "srsl":
+            # server decision order: pair with the OLDEST open enqueue;
+            # the positional check runs in finish()
+            cands[0]["grant_idx"] = idx
+            return
+        # consume the newest attempt (a retry supersedes its elders)
+        cands[-1]["grant_idx"] = idx
+        mgr = ev.fields["mgr"]
+        for cand in cands:
+            if (cand["prev"] != 0
+                    and cand["prev"] not in self._tokens.get(mgr, ())):
+                self.flag(idx, ev,
+                          f"token {token} enqueued behind unknown token "
+                          f"{cand['prev']} (corrupt lock word?)", **scope)
+                return
+        # FIFO: the grant is a hand-off addressed to ONE of this token's
+        # attempts in the current epoch — under faults a retrying client
+        # may legally consume a grant earned by an earlier attempt whose
+        # predecessor completed, so any open attempt with a satisfied
+        # (granted or nil) predecessor justifies the grant.
+        if not any(c["prev"] == 0
+                   or any(g_tok == c["prev"] and g_ep == ep and g_idx < idx
+                          for g_tok, g_ep, g_idx in st.grants)
+                   for c in cands):
+            prev = cands[-1]["prev"]
+            self.flag(idx, ev,
+                      f"FIFO violation: token {token} granted before its "
+                      f"queue predecessor {prev} (epoch {ep})", **scope)
+
+    def _on_release(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        if st.holders.pop(f["token"], None) is None:
+            where = ("revoked holder"
+                     if f["token"] in st.zombies else "non-holder")
+            self.flag(idx, ev,
+                      f"release of lock by {where} token {f['token']}",
+                      **self._scope(ev))
+
+    def _on_revoke(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        if st.zombies.pop(f["token"], None) is not None:
+            return
+        if st.holders.pop(f["token"], None) is not None:
+            return
+        self.flag(idx, ev,
+                  f"revoke of non-holder token {f['token']}",
+                  **self._scope(ev))
+
+    def _on_reclaim(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        scope = self._scope(ev)
+        if f["new_ep"] != ((f["old_ep"] + 1) & _EP_MASK):
+            self.flag(idx, ev,
+                      f"reclaim skipped epochs: {f['old_ep']} -> "
+                      f"{f['new_ep']}", **scope)
+        if f["old_ep"] != st.epoch:
+            self.flag(idx, ev,
+                      f"reclaim from epoch {f['old_ep']} but current is "
+                      f"{st.epoch}", **scope)
+        st.epoch = f["new_ep"]
+        # every live holder must now be revoked (checked in finish);
+        # enqueues of dead epochs can never be legally granted
+        st.zombies.update(st.holders)
+        st.holders.clear()
+        for rec in st.enqueues:
+            if rec["grant_idx"] is None and _ep_behind(rec["ep"], st.epoch):
+                rec["void"] = True
+
+    def _on_word(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        st = self._state(ev)
+        scope = self._scope(ev)
+        word = f["word"]
+        known = self._tokens.get(f["mgr"], set())
+        if f.get("ft"):
+            ep = (word >> 48) & _EP_MASK
+            tail = (word >> 24) & _F24
+            count = word & _F24
+            if _ep_ahead(ep, st.epoch):
+                self.flag(idx, ev,
+                          f"lock word carries future epoch {ep} "
+                          f"(current {st.epoch})", **scope)
+        else:
+            tail = (word >> 32) & _F32
+            count = word & _F32
+        if tail and tail not in known:
+            self.flag(idx, ev,
+                      f"lock word tail {tail} is not a known token",
+                      **scope)
+        if known and count > len(known):
+            self.flag(idx, ev,
+                      f"lock word shared count {count} exceeds the "
+                      f"{len(known)} registered tokens", **scope)
+
+    # -- end of trace ---------------------------------------------------
+    def finish(self) -> None:
+        for (mgr, lock), st in sorted(self._locks.items()):
+            for token, (mode, ep, gidx) in sorted(st.zombies.items()):
+                self.flag(None, None,
+                          f"token {token} ({mode}, epoch {ep}) survived a "
+                          f"reclaim without a revoke", mgr=mgr, lock=lock)
+            if self._scheme(mgr) == "srsl":
+                self._finish_srsl(mgr, lock, st)
+
+    def _finish_srsl(self, mgr: str, lock: int, st: _LockState) -> None:
+        granted = [r for r in st.enqueues if r["grant_idx"] is not None]
+        for i, a in enumerate(granted):
+            for b in granted[i + 1:]:
+                if a["mode"] == "SHARED" and b["mode"] == "SHARED":
+                    continue  # shared batches may grant in any order
+                if a["grant_idx"] > b["grant_idx"]:
+                    self.flag(b["grant_idx"], None,
+                              f"SRSL FIFO violation: token {b['token']} "
+                              f"(queued at #{b['idx']}) granted before "
+                              f"token {a['token']} (queued at #{a['idx']})",
+                              mgr=mgr, lock=lock)

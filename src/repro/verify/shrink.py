@@ -1,0 +1,95 @@
+"""Shrink a failing trace to a small reproducer.
+
+Strategy, cheapest first:
+
+1. **truncate** — events after the first violation cannot have caused
+   it; cut the trace right past the violating event.
+2. **scope filter** — keep only events sharing the violation's scope
+   (same manager+lock, same key, same node+doc ...), kept only if the
+   filtered trace still reproduces an equivalent violation.
+3. **prefix bisection** — binary-search the shortest failing prefix.
+   Violations of the streaming oracles are monotone in prefix length;
+   the handful of end-of-trace checks are not, so the result is
+   re-verified and the search falls back to the last known-failing
+   trace when bisection overshoots.
+
+The reproducer that comes out is a valid ``repro-trace-v1`` event list:
+feed it back through :func:`repro.verify.trace.replay` (or ``repro
+check trace``) to watch the violation fire in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .trace import Oracle, TraceView, replay
+
+__all__ = ["shrink"]
+
+
+def _first_violation(events, factories) -> Optional[Dict[str, Any]]:
+    violations = replay(TraceView(events), [f() for f in factories])
+    return violations[0] if violations else None
+
+
+def _scope_keeps(ev, scope: Dict[str, Any]) -> bool:
+    """An event stays if it does not contradict the violation's scope:
+    fields it carries must match; fields it lacks don't exclude it."""
+    for k, want in scope.items():
+        if k == "node":
+            if ev.node != want and ev.fields.get("node", ev.node) != want:
+                return False
+        elif k in ev.fields and ev.fields[k] != want:
+            return False
+    return True
+
+
+def shrink(events: Sequence, factories: Sequence[Callable[[], Oracle]],
+           max_probes: int = 64) -> Optional[Dict[str, Any]]:
+    """Return a shrink report for the first violation in ``events``, or
+    None when the trace replays clean.
+
+    The report carries the (possibly reduced) ``events`` list, the
+    violation it still reproduces, and how much was shed.
+    """
+    events = list(events)
+    head = _first_violation(events, factories)
+    if head is None:
+        return None
+    original = len(events)
+    probes = 1
+
+    # 1. truncate past the violating event
+    if head["index"] is not None:
+        events = events[:head["index"] + 1]
+
+    # 2. scope filter, kept only if the failure survives
+    scope = {k: v for k, v in head["scope"].items() if v is not None}
+    if scope:
+        narrowed = [ev for ev in events if _scope_keeps(ev, scope)]
+        if len(narrowed) < len(events):
+            v = _first_violation(narrowed, factories)
+            probes += 1
+            if v is not None and v["oracle"] == head["oracle"]:
+                events, head = narrowed, v
+
+    # 3. shortest failing prefix (verified bisection)
+    lo, hi = 0, len(events)  # fails at hi, passes at lo
+    best = list(events)
+    while hi - lo > 1 and probes < max_probes:
+        mid = (lo + hi) // 2
+        v = _first_violation(events[:mid], factories)
+        probes += 1
+        if v is not None and v["oracle"] == head["oracle"]:
+            hi, head, best = mid, v, events[:mid]
+        else:
+            lo = mid
+    events = best
+
+    return {
+        "events": events,
+        "violation": head,
+        "original_events": original,
+        "kept_events": len(events),
+        "probes": probes,
+    }

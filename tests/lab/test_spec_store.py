@@ -142,3 +142,48 @@ class TestResultStore:
         store.append(record_for(spec, {"v": 1}))
         line = store.record_lines()[spec.run_id]
         assert line == canonical_json(json.loads(line))
+
+
+class TestStoreCorruption:
+    """Interior corruption must raise; only a torn tail is forgiven."""
+
+    def _store_with(self, tmp_path, n=3):
+        store = ResultStore(str(tmp_path / "s"))
+        specs = [RunSpec("m:f", {"x": i}) for i in range(n)]
+        for i, spec in enumerate(specs):
+            store.append(record_for(spec, {"v": i}))
+        return store, specs
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store, _ = self._store_with(tmp_path)
+        path = os.path.join(store.path, store.RECORDS)
+        lines = open(path).read().splitlines()
+        lines[1] = lines[1][:10] + "#corrupt#" + lines[1][10:]
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match=r"corrupt record .*:2"):
+            store.records()
+
+    def test_truncated_final_line_forgiven(self, tmp_path):
+        store, specs = self._store_with(tmp_path)
+        path = os.path.join(store.path, store.RECORDS)
+        with open(path, "a") as fh:
+            fh.write('{"run_id": "deadbeef", "resu')  # killed mid-write
+        assert store.completed_ids() == {s.run_id for s in specs}
+
+    def test_torn_tail_before_trailing_whitespace_forgiven(self, tmp_path):
+        store, specs = self._store_with(tmp_path)
+        path = os.path.join(store.path, store.RECORDS)
+        with open(path, "a") as fh:
+            fh.write('{"run_id": "dead\n\n  \n')
+        assert store.completed_ids() == {s.run_id for s in specs}
+
+    def test_journal_interior_corruption_raises(self, tmp_path):
+        store, specs = self._store_with(tmp_path)
+        for s in specs:
+            store.append_journal({"run_id": s.run_id, "wall_s": 0.1})
+        path = os.path.join(store.path, store.JOURNAL)
+        lines = open(path).read().splitlines()
+        lines[0] = "not json at all"
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match="corrupt record"):
+            store.journal()

@@ -1,0 +1,135 @@
+"""Seeded mutations against the cache oracle: hits serving evicted or
+stale content, phantom remote holders and broken store accounting must
+all be flagged; the clean variants must pass."""
+
+from repro.obs.events import TraceEvent
+from repro.verify import CacheOracle, TraceView, replay_fresh
+
+
+def _admit(t, node, doc, size=100, used=None, capacity=1000, tok="aa"):
+    return TraceEvent(t, node, "cache.admit",
+                      {"doc": doc, "size": size,
+                       "used": size if used is None else used,
+                       "capacity": capacity, "tok": tok})
+
+
+def _evict(t, node, doc, size=100):
+    return TraceEvent(t, node, "cache.evict", {"doc": doc, "size": size})
+
+
+def _hit_local(t, node, doc, tok="aa", t0=None):
+    return TraceEvent(t, node, "cache.hit.local",
+                      {"doc": doc, "tok": tok,
+                       "t0": t if t0 is None else t0})
+
+
+def _hit_remote(t, node, doc, holder, tok="aa", t0=None):
+    return TraceEvent(t, node, "cache.hit.remote",
+                      {"doc": doc, "tok": tok,
+                       "t0": t if t0 is None else t0, "holder": holder})
+
+
+def _replay(events):
+    oracles, violations = replay_fresh(TraceView(events), [CacheOracle])
+    return oracles[0], violations
+
+
+def _msgs(violations):
+    return " | ".join(v["msg"] for v in violations)
+
+
+class TestCleanTraces:
+    def test_admit_hit_evict_passes(self):
+        events = [
+            _admit(1.0, 1, 7),
+            _hit_local(2.0, 1, 7),
+            _hit_remote(3.0, 2, 7, holder=1),
+            _evict(4.0, 1, 7),
+            TraceEvent(5.0, 2, "cache.miss", {"doc": 7}),
+        ]
+        oracle, violations = _replay(events)
+        assert violations == []
+        assert oracle.checked == len(events)
+
+    def test_concurrent_evict_covered_by_t0(self):
+        # lookup started at t0=2.0 while resident; the evict landing
+        # before the hit's emission must not be flagged
+        events = [
+            _admit(1.0, 1, 7),
+            _evict(2.5, 1, 7),
+            _hit_local(3.0, 1, 7, t0=2.0),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+    def test_readmission_intervals_tracked(self):
+        events = [
+            _admit(1.0, 1, 7, tok="aa"),
+            _evict(2.0, 1, 7),
+            _admit(3.0, 1, 7, tok="bb"),
+            _hit_local(4.0, 1, 7, tok="bb"),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+
+class TestMutations:
+    def test_hit_on_evicted_doc_flagged(self):
+        events = [
+            _admit(1.0, 1, 7),
+            _evict(2.0, 1, 7),
+            # mutation: served long after eviction
+            _hit_local(5.0, 1, 7, t0=4.0),
+        ]
+        _oracle, violations = _replay(events)
+        assert "did not hold it at t0=4.000" in _msgs(violations)
+
+    def test_hit_serving_stale_content_flagged(self):
+        events = [
+            _admit(1.0, 1, 7, tok="aa"),
+            # mutation: the bytes served don't match the resident copy
+            _hit_local(2.0, 1, 7, tok="bb"),
+        ]
+        _oracle, violations = _replay(events)
+        assert "served stale content" in _msgs(violations)
+        assert "token bb" in _msgs(violations)
+
+    def test_remote_hit_phantom_holder_flagged(self):
+        events = [
+            _admit(1.0, 1, 7),
+            # mutation: directory claims node 3 holds doc 7
+            _hit_remote(2.0, 2, 7, holder=3),
+        ]
+        _oracle, violations = _replay(events)
+        assert "remote hit" in _msgs(violations)
+        assert "from node 3" in _msgs(violations)
+
+    def test_evict_of_non_resident_flagged(self):
+        events = [_evict(1.0, 1, 7)]
+        _oracle, violations = _replay(events)
+        assert "not resident" in _msgs(violations)
+
+    def test_accounting_mismatch_flagged(self):
+        events = [
+            _admit(1.0, 1, 7, size=100, used=100),
+            # mutation: store forgot the first document's bytes
+            _admit(2.0, 1, 8, size=50, used=50),
+        ]
+        _oracle, violations = _replay(events)
+        assert "accounting mismatch" in _msgs(violations)
+
+    def test_over_capacity_flagged(self):
+        events = [
+            _admit(1.0, 1, 7, size=800, used=800, capacity=1000),
+            _admit(2.0, 1, 8, size=400, used=1200, capacity=1000),
+        ]
+        _oracle, violations = _replay(events)
+        assert "over capacity" in _msgs(violations)
+
+    def test_evict_size_mismatch_flagged(self):
+        events = [
+            _admit(1.0, 1, 7, size=100),
+            _evict(2.0, 1, 7, size=60),
+        ]
+        _oracle, violations = _replay(events)
+        assert "evict size 60 != admitted size 100" in _msgs(violations)

@@ -1,0 +1,173 @@
+"""Seeded mutations against the DDSS coherence oracles: stale reads,
+lost updates, torn snapshots and bound violations injected into
+synthetic traces must all be flagged; the clean variants must pass."""
+
+from repro.obs.events import TraceEvent
+from repro.verify import DDSSOracle, TraceView, replay_fresh
+
+A4 = "aa" * 4
+B4 = "bb" * 4
+C4 = "cc" * 4
+
+
+def _alloc(t, key, model, delta=2, ttl_us=1000.0, replicas=0):
+    return TraceEvent(t, 0, "ddss.alloc",
+                      {"key": key, "model": model, "nbytes": 4,
+                       "delta": delta, "ttl_us": ttl_us,
+                       "replicas": replicas})
+
+
+def _put(t0, t, node, key, model, version, data):
+    return TraceEvent(t, node, "ddss.put.done",
+                      {"key": key, "model": model, "t0": t0,
+                       "version": version, "nbytes": 4, "data": data})
+
+
+def _get(t0, t, node, key, model, version, data, hit=False, age_us=None):
+    return TraceEvent(t, node, "ddss.get.done",
+                      {"key": key, "model": model, "t0": t0,
+                       "version": version, "nbytes": 4, "data": data,
+                       "hit": hit, "age_us": age_us})
+
+
+def _replay(events):
+    oracles, violations = replay_fresh(TraceView(events), [DDSSOracle])
+    return oracles[0], violations
+
+
+def _msgs(violations):
+    return " | ".join(v["msg"] for v in violations)
+
+
+class TestCleanTraces:
+    def test_serialized_puts_and_fresh_get_pass(self):
+        events = [
+            _alloc(0.0, 5, "WRITE"),
+            _put(1.0, 2.0, 1, 5, "WRITE", 1, A4),
+            _put(3.0, 4.0, 2, 5, "WRITE", 2, B4),
+            _get(5.0, 6.0, 3, 5, "WRITE", None, B4),
+        ]
+        oracle, violations = _replay(events)
+        assert violations == []
+        assert oracle.checked == len(events)
+
+    def test_initial_zero_state_readable(self):
+        events = [
+            _alloc(0.0, 5, "STRICT"),
+            _get(1.0, 2.0, 1, 5, "STRICT", None, "00" * 4),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+    def test_overlapping_put_excuses_old_value(self):
+        # put of B overlaps the get, so returning the older A is legal
+        events = [
+            _alloc(0.0, 5, "WRITE"),
+            _put(1.0, 2.0, 1, 5, "WRITE", 1, A4),
+            _put(3.0, 9.0, 2, 5, "WRITE", 2, B4),
+            _get(5.0, 6.0, 3, 5, "WRITE", None, A4),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+
+class TestMutations:
+    def test_stale_read_flagged(self):
+        # B was wholly committed before the get began, yet A is served
+        events = [
+            _alloc(0.0, 5, "WRITE"),
+            _put(1.0, 2.0, 1, 5, "WRITE", 1, A4),
+            _put(3.0, 4.0, 2, 5, "WRITE", 2, B4),
+            _get(5.0, 6.0, 3, 5, "WRITE", None, A4),
+        ]
+        _oracle, violations = _replay(events)
+        assert "stale read" in _msgs(violations)
+        assert "superseded" in _msgs(violations)
+
+    def test_torn_read_flagged(self):
+        events = [
+            _alloc(0.0, 5, "WRITE"),
+            _put(1.0, 2.0, 1, 5, "WRITE", 1, A4),
+            _get(3.0, 4.0, 2, 5, "WRITE", None, "deadbeef"),
+        ]
+        _oracle, violations = _replay(events)
+        assert "torn read" in _msgs(violations)
+
+    def test_read_snapshot_mismatch_flagged(self):
+        # READ pairs (version, data) atomically: version 2 with
+        # version-1 bytes is a torn snapshot
+        events = [
+            _alloc(0.0, 5, "READ"),
+            _put(1.0, 2.0, 1, 5, "READ", 1, A4),
+            _put(3.0, 4.0, 1, 5, "READ", 2, B4),
+            _get(5.0, 6.0, 2, 5, "READ", 2, A4),
+        ]
+        _oracle, violations = _replay(events)
+        assert "snapshot matches no atomic put" in _msgs(violations)
+
+    def test_lost_update_flagged(self):
+        # two puts both committed version 1: the locked bump was lost
+        events = [
+            _alloc(0.0, 5, "STRICT"),
+            _put(1.0, 2.0, 1, 5, "STRICT", 1, A4),
+            _put(3.0, 4.0, 2, 5, "STRICT", 1, B4),
+        ]
+        _oracle, violations = _replay(events)
+        assert "lost update" in _msgs(violations)
+        assert "expected {1..2}" in _msgs(violations)
+
+    def test_stale_delta_hit_flagged(self):
+        events = [
+            _alloc(0.0, 5, "DELTA", delta=1),
+            _put(1.0, 2.0, 1, 5, "DELTA", 1, A4),
+            _put(3.0, 4.0, 1, 5, "DELTA", 2, B4),
+            _put(5.0, 6.0, 1, 5, "DELTA", 3, C4),
+            # mutation: cached copy lags 2 behind with delta=1
+            _get(7.0, 8.0, 2, 5, "DELTA", 1, A4, hit=True),
+        ]
+        _oracle, violations = _replay(events)
+        assert "DELTA bound exceeded" in _msgs(violations)
+
+    def test_delta_hit_within_bound_passes(self):
+        events = [
+            _alloc(0.0, 5, "DELTA", delta=2),
+            _put(1.0, 2.0, 1, 5, "DELTA", 1, A4),
+            _put(3.0, 4.0, 1, 5, "DELTA", 2, B4),
+            _put(5.0, 6.0, 1, 5, "DELTA", 3, C4),
+            _get(7.0, 8.0, 2, 5, "DELTA", 1, A4, hit=True),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+    def test_expired_temporal_hit_flagged(self):
+        events = [
+            _alloc(0.0, 5, "TEMPORAL", ttl_us=100.0),
+            _put(1.0, 2.0, 1, 5, "TEMPORAL", 1, A4),
+            _get(500.0, 501.0, 2, 5, "TEMPORAL", 1, A4,
+                 hit=True, age_us=400.0),
+        ]
+        _oracle, violations = _replay(events)
+        assert "TEMPORAL bound exceeded" in _msgs(violations)
+
+    def test_version_going_backwards_flagged(self):
+        events = [
+            _alloc(0.0, 5, "VERSION"),
+            _put(1.0, 2.0, 1, 5, "VERSION", 1, A4),
+            _put(3.0, 4.0, 1, 5, "VERSION", 2, B4),
+            _get(5.0, 6.0, 2, 5, "VERSION", 2, B4),
+            # mutation: a later, non-overlapping read sees version 1
+            _get(7.0, 8.0, 3, 5, "VERSION", 1, A4),
+        ]
+        _oracle, violations = _replay(events)
+        assert "version went backwards" in _msgs(violations)
+
+    def test_replicated_keys_skipped(self):
+        # failover tolerates divergent copies: same trace as the lost
+        # update case, but replicated — must pass
+        events = [
+            _alloc(0.0, 5, "STRICT", replicas=1),
+            _put(1.0, 2.0, 1, 5, "STRICT", 1, A4),
+            _put(3.0, 4.0, 2, 5, "STRICT", 1, B4),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []

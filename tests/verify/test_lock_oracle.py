@@ -1,0 +1,224 @@
+"""Seeded mutations against the lock oracle: every injected protocol
+break on a synthetic trace must be flagged, and the clean version of the
+same trace must pass."""
+
+from repro.obs.events import TraceEvent
+from repro.verify import LockOracle, TraceView, replay_fresh
+
+
+def _ev(t, node, etype, **fields):
+    return TraceEvent(t, node, etype, fields)
+
+
+def _lk(t, node, what, token, mode="EXCLUSIVE", mgr="ncosed-0",
+        lock=0, **extra):
+    f = {"mgr": mgr, "lock": lock, "token": token}
+    if what in ("request", "enqueue", "grant"):
+        f["mode"] = mode
+    f.update(extra)
+    return _ev(t, node, f"lock.{what}", **f)
+
+
+def _replay(events):
+    oracles, violations = replay_fresh(TraceView(events), [LockOracle])
+    return oracles[0], violations
+
+
+def _msgs(violations):
+    return " | ".join(v["msg"] for v in violations)
+
+
+class TestCleanTraces:
+    def test_fifo_chain_passes(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(2.0, 1, "grant", 7),
+            _lk(3.0, 2, "request", 9),
+            _lk(4.0, 2, "enqueue", 9, prev=7, ep=0),
+            _lk(5.0, 1, "release", 7),
+            _lk(6.0, 2, "grant", 9),
+            _lk(7.0, 2, "release", 9),
+        ]
+        oracle, violations = _replay(events)
+        assert violations == []
+        assert oracle.checked == len(events)
+
+    def test_shared_batch_passes(self):
+        events = [
+            _lk(0.0, 1, "request", 7, mode="SHARED"),
+            _lk(0.5, 2, "request", 9, mode="SHARED"),
+            _lk(1.0, 1, "enqueue", 7, mode="SHARED", prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, mode="SHARED", prev=7, ep=0),
+            _lk(2.0, 1, "grant", 7, mode="SHARED"),
+            _lk(2.5, 2, "grant", 9, mode="SHARED"),
+            _lk(3.0, 1, "release", 7),
+            _lk(3.5, 2, "release", 9),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+
+class TestMutualExclusion:
+    def test_double_exclusive_grant_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(0.5, 2, "request", 9),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, prev=7, ep=0),
+            _lk(2.0, 1, "grant", 7),
+            # mutation: 9 granted while 7 still holds
+            _lk(3.0, 2, "grant", 9),
+        ]
+        _oracle, violations = _replay(events)
+        assert "exclusive grant" in _msgs(violations)
+        assert "while held by" in _msgs(violations)
+
+    def test_shared_grant_under_exclusive_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(0.5, 2, "request", 9, mode="SHARED"),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, mode="SHARED", prev=7, ep=0),
+            _lk(2.0, 1, "grant", 7),
+            _lk(3.0, 2, "grant", 9, mode="SHARED"),
+        ]
+        _oracle, violations = _replay(events)
+        assert "shared grant" in _msgs(violations)
+
+    def test_release_by_non_holder_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(2.0, 1, "grant", 7),
+            _lk(3.0, 2, "release", 9),
+        ]
+        _oracle, violations = _replay(events)
+        assert "release of lock by non-holder token 9" in _msgs(violations)
+
+
+class TestFairness:
+    def test_overtake_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(0.5, 2, "request", 9),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, prev=7, ep=0),
+            # mutation: 9 jumps the queue — its predecessor 7 was
+            # never granted
+            _lk(2.0, 2, "grant", 9),
+        ]
+        _oracle, violations = _replay(events)
+        assert "FIFO violation: token 9 granted before its queue " \
+               "predecessor 7" in _msgs(violations)
+
+    def test_grant_without_enqueue_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(2.0, 1, "grant", 7),
+        ]
+        _oracle, violations = _replay(events)
+        assert "no matching enqueue" in _msgs(violations)
+
+    def test_retry_may_consume_earlier_attempts_grant(self):
+        # FT recovery: 9's first wait aborts, it re-enqueues behind 11,
+        # then legally consumes the hand-off earned by its first
+        # attempt (prev=7, which released).  Must NOT be flagged.
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(0.5, 2, "request", 9),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, prev=7, ep=0),
+            _lk(2.0, 1, "grant", 7),
+            _lk(2.5, 3, "request", 11),
+            _lk(3.0, 3, "enqueue", 11, prev=9, ep=0),
+            _lk(3.5, 1, "release", 7),
+            _lk(4.0, 2, "enqueue", 9, prev=11, ep=0),  # the retry
+            _lk(4.5, 2, "grant", 9),
+            _lk(5.0, 2, "release", 9),
+            _lk(5.5, 3, "grant", 11),
+            _lk(6.0, 3, "release", 11),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+    def test_srsl_positional_order_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7, mgr="srsl-0"),
+            _lk(0.5, 2, "request", 9, mgr="srsl-0"),
+            _lk(1.0, 1, "enqueue", 7, mgr="srsl-0", prev=0, ep=0),
+            _lk(1.5, 2, "enqueue", 9, mgr="srsl-0", prev=0, ep=0),
+            # mutation: server granted the younger queue entry first
+            _lk(2.0, 2, "grant", 9, mgr="srsl-0"),
+            _lk(2.5, 2, "release", 9, mgr="srsl-0"),
+            _lk(3.0, 1, "grant", 7, mgr="srsl-0"),
+        ]
+        _oracle, violations = _replay(events)
+        assert "SRSL FIFO violation: token 9" in _msgs(violations)
+
+
+class TestEpochFencing:
+    def test_stale_epoch_grant_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _ev(2.0, 0, "lock.reclaim", mgr="ncosed-0", lock=0,
+                old_ep=0, new_ep=1),
+            # mutation: a grant fenced to the dead epoch slips through
+            _lk(3.0, 1, "grant", 7, ep=0),
+        ]
+        _oracle, violations = _replay(events)
+        assert "fenced to stale epoch 0" in _msgs(violations)
+
+    def test_reclaim_epoch_skip_flagged(self):
+        events = [
+            _ev(1.0, 0, "lock.reclaim", mgr="ncosed-0", lock=0,
+                old_ep=0, new_ep=2),
+        ]
+        _oracle, violations = _replay(events)
+        assert "reclaim skipped epochs: 0 -> 2" in _msgs(violations)
+
+    def test_zombie_surviving_reclaim_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(2.0, 1, "grant", 7, ep=0),
+            _ev(3.0, 0, "lock.reclaim", mgr="ncosed-0", lock=0,
+                old_ep=0, new_ep=1),
+            # mutation: no lock.revoke for 7 ever arrives
+        ]
+        _oracle, violations = _replay(events)
+        assert "token 7" in _msgs(violations)
+        assert "survived a reclaim without a revoke" in _msgs(violations)
+
+    def test_revoked_holder_not_a_zombie(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _lk(1.0, 1, "enqueue", 7, prev=0, ep=0),
+            _lk(2.0, 1, "grant", 7, ep=0),
+            _ev(3.0, 0, "lock.reclaim", mgr="ncosed-0", lock=0,
+                old_ep=0, new_ep=1),
+            _lk(4.0, 1, "revoke", 7),
+        ]
+        _oracle, violations = _replay(events)
+        assert violations == []
+
+
+class TestWordChecks:
+    def test_unknown_tail_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _ev(1.0, 1, "lock.word", mgr="ncosed-0", lock=0,
+                word=(999 << 32) | 1, ft=False),
+        ]
+        _oracle, violations = _replay(events)
+        assert "tail 999 is not a known token" in _msgs(violations)
+
+    def test_future_epoch_word_flagged(self):
+        events = [
+            _lk(0.0, 1, "request", 7),
+            _ev(1.0, 1, "lock.word", mgr="ncosed-0", lock=0,
+                word=(5 << 48) | (7 << 24) | 1, ft=True),
+        ]
+        _oracle, violations = _replay(events)
+        assert "future epoch 5" in _msgs(violations)

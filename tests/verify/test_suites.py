@@ -1,0 +1,187 @@
+"""The packaged check suite end to end: scenario replays stay clean
+under both kernels, shrinking produces small reproducers, the
+metamorphic sweep agrees across kernels, and the CLI wires it all up."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs.events import TraceEvent
+from repro.verify import (CHECKS, LockOracle, canonical_trace_sha,
+                          check_scenario, check_trace, metamorphic_sweep,
+                          run_check, run_suite, shrink)
+
+FAST_CHECKS = ("ncosed", "dqnl", "srsl", "ddss", "cache-bcc")
+
+
+class TestPackagedChecks:
+    @pytest.mark.parametrize("name", sorted(CHECKS))
+    def test_check_is_clean_and_non_vacuous(self, name):
+        r = run_check(name, seed=0)
+        assert r["verdict"] == "ok", r
+        primary = CHECKS[name][2]
+        assert r["oracles"][primary]["checked"] > 0
+        assert r["sanitizers"] == []
+
+    def test_slow_kernel_agrees(self):
+        for name in ("ncosed", "ddss"):
+            r = run_check(name, seed=0, kernel="slow")
+            assert r["verdict"] == "ok", r
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ConfigError, match="unknown check"):
+            run_check("nope")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError, match="unknown kernel"):
+            run_check("ncosed", kernel="warp")
+
+    def test_run_suite_summary(self):
+        rep = run_suite(checks=["ncosed", "cache-bcc"], seed=0)
+        assert rep["verdict"] == "ok"
+        assert rep["failed"] == []
+        assert len(rep["checks"]) == 2
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", FAST_CHECKS)
+    def test_canonical_sha_matches_across_kernels(self, name):
+        fast = check_scenario(check=name, seed=0, kernel="fast")
+        slow = check_scenario(check=name, seed=0, kernel="slow")
+        assert fast["verdict"] == slow["verdict"] == "ok"
+        assert fast["trace_sha"] == slow["trace_sha"]
+        assert fast["events"] == slow["events"]
+
+    def test_canonical_sha_ignores_same_instant_cross_node_order(self):
+        a = TraceEvent(1.0, 0, "cache.miss", {"doc": 1})
+        b = TraceEvent(1.0, 1, "cache.miss", {"doc": 2})
+        doc1 = {"sim_now_us": 2.0, "emitted": 2,
+                "events": [list(a), list(b)]}
+        doc2 = {"sim_now_us": 2.0, "emitted": 2,
+                "events": [list(b), list(a)]}
+        assert canonical_trace_sha(doc1) == canonical_trace_sha(doc2)
+
+    def test_canonical_sha_sees_field_changes(self):
+        a = TraceEvent(1.0, 0, "cache.miss", {"doc": 1})
+        b = TraceEvent(1.0, 0, "cache.miss", {"doc": 2})
+        doc1 = {"sim_now_us": 2.0, "emitted": 1, "events": [list(a)]}
+        doc2 = {"sim_now_us": 2.0, "emitted": 1, "events": [list(b)]}
+        assert canonical_trace_sha(doc1) != canonical_trace_sha(doc2)
+
+
+class TestShrink:
+    def test_clean_trace_shrinks_to_none(self):
+        events = [TraceEvent(1.0, 1, "lock.request",
+                             {"mgr": "ncosed-0", "lock": 0, "token": 7,
+                              "mode": "EXCLUSIVE"})]
+        assert shrink(events, [LockOracle]) is None
+
+    def test_reproducer_is_smaller_and_still_fails(self):
+        def lk(t, what, token, lock=0, **extra):
+            f = {"mgr": "ncosed-0", "lock": lock, "token": token,
+                 "mode": "EXCLUSIVE"}
+            f.update(extra)
+            return TraceEvent(t, 1, f"lock.{what}", f)
+
+        # clean traffic on lock 1 is noise; the double grant is on lock 0
+        events = []
+        for i in range(8):
+            tok = 100 + i
+            events += [lk(10.0 * i, "request", tok, lock=1),
+                       lk(10.0 * i + 1, "enqueue", tok, lock=1,
+                          prev=0, ep=0),
+                       lk(10.0 * i + 2, "grant", tok, lock=1),
+                       lk(10.0 * i + 3, "release", tok, lock=1)]
+        events += [lk(100.0, "request", 7),
+                   lk(101.0, "request", 9),
+                   lk(102.0, "enqueue", 7, prev=0, ep=0),
+                   lk(103.0, "enqueue", 9, prev=7, ep=0),
+                   lk(104.0, "grant", 7),
+                   lk(105.0, "grant", 9),  # the injected double grant
+                   lk(106.0, "release", 7)]
+
+        rep = shrink(events, [LockOracle])
+        assert rep is not None
+        assert rep["original_events"] == len(events)
+        assert rep["kept_events"] < rep["original_events"]
+        # the noise on lock 1 must be gone from the reproducer
+        assert all(ev.fields["lock"] == 0 for ev in rep["events"])
+        assert "exclusive grant" in rep["violation"]["msg"]
+
+
+class TestTraceRoundtrip:
+    def test_exported_trace_replays_clean(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["obs", "run", "locks", "--trace", str(path)]) == 0
+        r = check_trace(str(path))
+        assert r["verdict"] == "ok"
+        assert r["trace"] == str(path)
+        assert r["oracles"]["locks"]["checked"] > 0
+
+    def test_non_trace_json_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigError, match="repro-trace-v1"):
+            check_trace(str(path))
+
+
+class TestMetamorphic:
+    def test_sweep_smoke(self):
+        rep = metamorphic_sweep(checks=["ncosed"], seeds=(0,),
+                                node_counts=(0,), workers=0)
+        assert rep["verdict"] == "ok"
+        assert rep["runs"] == 2  # fast + slow
+        assert rep["pairs"] == 1
+        assert rep["kernel_mismatches"] == []
+        assert rep["violations"] == []
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ConfigError, match="unknown check"):
+            metamorphic_sweep(checks=["nope"], seeds=(0,))
+
+
+class TestCheckCli:
+    def test_list(self, capsys):
+        assert main(["check", "list"]) == 0
+        assert capsys.readouterr().out.split() == sorted(CHECKS)
+
+    def test_run_writes_verdict_json(self, tmp_path, capsys):
+        path = tmp_path / "verdict.json"
+        assert main(["check", "run", "ncosed",
+                     "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["verdict"] == "ok"
+        assert doc["results"][0]["check"] == "ncosed"
+        out = capsys.readouterr().out
+        assert "verdict=ok" in out
+        assert "1/1 checks ok" in out
+
+    def test_run_both_kernels(self, capsys):
+        assert main(["check", "run", "srsl", "--both-kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "[srsl] [fast]" in out
+        assert "[srsl] [slow]" in out
+
+    def test_unknown_name_is_usage_error(self, capsys):
+        assert main(["check", "run", "nope"]) == 2
+        assert "unknown check" in capsys.readouterr().err
+
+    def test_trace_requires_path(self, capsys):
+        assert main(["check", "trace"]) == 2
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["obs", "run", "locks", "--trace", str(path)]) == 0
+        assert main(["check", "trace", str(path)]) == 0
+        assert "verdict=ok" in capsys.readouterr().out
+
+    def test_meta_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "meta.json"
+        assert main(["check", "meta", "srsl", "--seeds", "0",
+                     "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["verdict"] == "ok"
+        assert doc["pairs"] == 1
+        assert "kernel_mismatches=0" in capsys.readouterr().out
