@@ -1,0 +1,282 @@
+"""Packaged chaos scenarios and their HA expectations.
+
+A chaos scenario is a workload that (a) runs under an arbitrary
+sampled fault schedule, (b) never crashes the *driver* on injected
+faults (actors absorb ``LockError``/``FaultError`` — giving up is a
+legal outcome, dividing the lock is not), and (c) declares, from the
+schedule alone, what correct recovery looks like via ``ha.expect``
+trace events (:class:`repro.verify.ha.HAOracle`).
+
+``locks`` is the flagship: fault-tolerant N-CoSED with a phi-accrual
+detector behind a quorum gate, so a symmetric partition that isolates a
+lock home must produce a majority-side rehome within the detection
+bound, while a minority-side front must produce *none*.
+``locks-nofence`` is the same scenario with the quorum gate removed —
+the packaged split-brain bug that campaigns are expected to find and
+shrink.  ``ddss`` exercises replicated coherence under the same fault
+classes with no HA choreography (the data oracles carry the verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import (ConfigError, DDSSError, FaultError, LockError,
+                          RdmaError, TimeoutError)
+
+from repro.chaos.space import ChaosSpace, plan_from_schedule
+
+__all__ = ["SCENARIOS", "ChaosScenario", "get_scenario",
+           "ha_expectations"]
+
+#: detector probe cadence for chaos scenarios (µs)
+PERIOD_US = 500.0
+TIMEOUT_US = 120.0
+#: quorum-gate hold window: one probe period lets a closing partition's
+#: deaths be counted together before quorum arithmetic runs
+HOLD_US = PERIOD_US
+#: phi history warm-up before expectations are judgeable
+WARMUP_US = 3_000.0
+N_LOCKS = 4
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One packaged scenario: builder + sampling space + expectations."""
+
+    name: str
+    builder: Callable  # (seed, n_nodes, schedule, fence) -> Observability
+    n_nodes: int
+    horizon_us: float
+    fence: bool = True
+    #: False for seeded-bug scenarios: campaign counts their failures
+    #: as *findings* (expected), not campaign violations
+    expect_clean: bool = True
+    kinds: Sequence[str] = ("partition", "crash", "slow", "drop")
+    max_faults: int = 4
+    description: str = ""
+
+    def space(self) -> ChaosSpace:
+        return ChaosSpace(self.n_nodes, self.horizon_us,
+                          max_faults=self.max_faults, kinds=self.kinds,
+                          protect=(0,))
+
+
+# ----------------------------------------------------------------------
+# expectations: schedule -> declarative HA assertions (pure function)
+# ----------------------------------------------------------------------
+
+def _covers_all(groups: Sequence[Sequence[int]], n_nodes: int) -> bool:
+    covered = set()
+    for g in groups:
+        covered.update(g)
+    return covered == set(range(n_nodes))
+
+
+def ha_expectations(schedule: Sequence[dict], n_nodes: int,
+                    n_locks: int, bound_us: float,
+                    warmup_us: float = WARMUP_US) -> List[dict]:
+    """Derive conservative ``ha.expect`` declarations from a schedule.
+
+    Only *unambiguous* situations produce expectations — a failover
+    assertion is emitted only for the chronologically first partition,
+    with no overlapping fault that could slow detection or change
+    quorum; a no-failover assertion only when no other partition muddies
+    the window.  Everything else is left to the safety oracles: a false
+    "missing failover" would poison every campaign, while a skipped
+    expectation merely checks less.
+    """
+    quorum = n_nodes // 2 + 1
+    parts = [f for f in schedule if f["kind"] == "partition"]
+    crashes = [f for f in schedule if f["kind"] == "crash"]
+    grays = [f for f in schedule if f["kind"] in ("slow", "stall")]
+    crashed = {c["node"] for c in crashes}
+    expects: List[dict] = []
+    for p in parts:
+        if p.get("oneway") or len(p["groups"]) != 2:
+            continue
+        if not _covers_all(p["groups"], n_nodes):
+            continue  # uncut nodes bridge both sides: reachability blurs
+        g0, g1 = set(p["groups"][0]), set(p["groups"][1])
+        front_side, far = (g0, g1) if 0 in g0 else (g1, g0)
+        if 0 not in front_side:
+            continue  # pragma: no cover - groups always cover node 0
+        start, until = float(p["start"]), float(p["until"])
+        others = [q for q in parts if q is not p]
+        if len(front_side) >= quorum:
+            # failover must happen — judged only in a clean neighbourhood
+            if start < warmup_us or until < start + bound_us:
+                continue
+            if any(float(q["start"]) <= start + bound_us for q in others):
+                continue
+            if any(float(g["start"]) <= start + bound_us for g in grays):
+                continue
+            if any(float(c["at"]) <= start + bound_us for c in crashes):
+                continue
+            victims = sorted(v for v in far
+                             if v < n_locks and v not in crashed)
+            if victims:
+                expects.append({
+                    "kind": "failover", "victims": victims,
+                    "after": start, "by": start + bound_us,
+                    "start": start, "until": until})
+        else:
+            # front is in the minority: it must not evict the far side
+            if any(float(q["start"]) < until
+                   and float(q["until"]) > start for q in others):
+                continue
+            victims = sorted(v for v in far if v not in crashed)
+            if victims:
+                expects.append({
+                    "kind": "no-failover", "victims": victims,
+                    "after": start, "by": until,
+                    "start": start, "until": until})
+    return expects
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+def _locks(seed: int, n_nodes: int, schedule: Sequence[dict],
+           fence: bool = True):
+    """FT N-CoSED under chaos: phi detector (+ quorum gate) drives
+    lock-home failover; actors tolerate bounded-retry failures."""
+    from repro.net import Cluster
+    from repro.monitor import PhiAccrualDetector, QuorumGate
+    from repro.dlm import LockMode, NCoSEDManager
+
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    obs = cluster.observe(sanitize=True, strict=False)
+    cluster.install_faults(plan_from_schedule(schedule))
+    front, backs = cluster.nodes[0], cluster.nodes[1:]
+    phi = PhiAccrualDetector(front, backs, period_us=PERIOD_US,
+                             timeout_us=TIMEOUT_US)
+    detector = QuorumGate(phi, hold_us=HOLD_US) if fence else phi
+    manager = NCoSEDManager(cluster, n_locks=N_LOCKS, lease_us=800.0,
+                            detector=detector)
+    # detection bound for the HA liveness assertions: phi confirmation,
+    # plus the gate hold, plus two probe periods of scheduling slack
+    bound = (phi.detect_bound_us() + (HOLD_US if fence else 0.0)
+             + 2.0 * PERIOD_US)
+    horizon = SCENARIOS["locks"].horizon_us
+    for exp in ha_expectations(schedule, n_nodes, N_LOCKS, bound):
+        obs.trace.emit("ha.expect", node=-1, **exp)
+    env = cluster.env
+    rng = cluster.rng.get("chaos-locks")
+
+    def actor(env, client, lock_i, shared, delay, hold):
+        mode = LockMode.SHARED if shared else LockMode.EXCLUSIVE
+        yield env.timeout(delay)
+        try:
+            yield client.acquire(lock_i, mode)
+        except (LockError, FaultError, RdmaError):
+            return  # giving up under faults is legal; splitting is not
+        yield env.timeout(hold)
+        try:
+            yield client.release(lock_i)
+        except (LockError, FaultError, RdmaError):
+            pass
+
+    for i in range(3 * n_nodes):
+        client = manager.client(cluster.nodes[i % n_nodes])
+        env.process(actor(env, client, i % N_LOCKS, rng.random() < 0.4,
+                          rng.uniform(0.0, 0.8) * horizon,
+                          rng.uniform(500.0, 3_000.0)),
+                    name=f"chaos-lock-{i}")
+    env.run(until=horizon)
+    return obs
+
+
+def _locks_nofence(seed: int, n_nodes: int, schedule: Sequence[dict],
+                   fence: bool = False):
+    return _locks(seed, n_nodes, schedule, fence=False)
+
+
+def _ddss(seed: int, n_nodes: int, schedule: Sequence[dict],
+          fence: bool = True):
+    """Replicated DDSS coherence under chaos; data oracles judge."""
+    from repro.net import Cluster
+    from repro.ddss import DDSS, Coherence
+
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    obs = cluster.observe(sanitize=True, strict=False)
+    cluster.install_faults(plan_from_schedule(schedule))
+    ddss = DDSS(cluster, segment_bytes=256 * 1024)
+    env = cluster.env
+    rng = cluster.rng.get("chaos-ddss")
+    horizon = SCENARIOS["ddss"].horizon_us
+    tolerated = (DDSSError, FaultError, RdmaError, TimeoutError)
+
+    def owner(env, client, model, replicas, keys_out):
+        try:
+            key = yield client.allocate(128, coherence=model, placement=0,
+                                        delta=2, ttl_us=300.0,
+                                        replicas=replicas)
+        except tolerated:
+            return
+        keys_out.append(key)
+
+    def worker(env, client, keys, stamp, delay):
+        yield env.timeout(delay)
+        if not keys:
+            return
+        key = keys[0]
+        for i in range(1, 6):
+            try:
+                yield client.put(key, bytes([stamp]) * 96)
+                yield client.get(key)
+            except tolerated:
+                pass
+            yield env.timeout(rng.uniform(200.0, 900.0))
+            try:
+                yield client.get(key)
+            except tolerated:
+                pass
+
+    models = [Coherence.NULL, Coherence.WRITE, Coherence.DELTA]
+    for m_i, model in enumerate(models):
+        keys: List[int] = []
+        replicas = 1 if model is Coherence.NULL else 0
+        opener = ddss.client(cluster.nodes[1 % n_nodes])
+        p = env.process(owner(env, opener, model, replicas, keys),
+                        name=f"chaos-ddss-alloc-{m_i}")
+        env.run_until_event(p)
+        for w in range(3):
+            node = cluster.nodes[(1 + w) % n_nodes]
+            env.process(worker(env, ddss.client(node), keys,
+                               16 * (m_i + 1) + w,
+                               rng.uniform(0.0, 0.3) * horizon),
+                        name=f"chaos-ddss-{m_i}-{w}")
+    env.run(until=horizon)
+    return obs
+
+
+SCENARIOS: Dict[str, ChaosScenario] = {
+    "locks": ChaosScenario(
+        name="locks", builder=_locks, n_nodes=5, horizon_us=40_000.0,
+        fence=True, expect_clean=True,
+        description="FT N-CoSED + phi detector + quorum gate: "
+                    "failover within bound, no split-brain"),
+    "locks-nofence": ChaosScenario(
+        name="locks-nofence", builder=_locks_nofence, n_nodes=5,
+        horizon_us=40_000.0, fence=False, expect_clean=False,
+        kinds=("partition",), max_faults=3,
+        description="seeded bug: same scenario without the quorum "
+                    "gate; minority partitions evict the majority"),
+    "ddss": ChaosScenario(
+        name="ddss", builder=_ddss, n_nodes=5, horizon_us=30_000.0,
+        fence=True, expect_clean=True,
+        kinds=("partition", "crash", "slow", "stall", "drop"),
+        description="replicated DDSS coherence contracts under "
+                    "partitions, crashes and gray failures"),
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    sc = SCENARIOS.get(name)
+    if sc is None:
+        raise ConfigError(f"unknown chaos scenario {name!r}; available: "
+                          f"{', '.join(sorted(SCENARIOS))}")
+    return sc

@@ -387,6 +387,167 @@ def _check_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# chaos subcommand (fault-schedule campaigns + shrinking)
+# ---------------------------------------------------------------------------
+
+def _chaos_print_record(rec: dict) -> None:
+    print(f"[{rec['scenario']} seed={rec['seed']}"
+          f"{' index=' + str(rec['index']) if 'index' in rec else ''}"
+          f" {rec['kernel']}] events={rec['events']} "
+          f"sha={rec['trace_sha']} verdict={rec['verdict']}")
+    for label in rec["faults"]:
+        print(f"  fault: {label}")
+    for msg in rec["violation_msgs"]:
+        print(f"  VIOLATION: {msg}")
+
+
+def _chaos_load_schedule(path: str):
+    import json as _json
+
+    with open(path, encoding="utf-8") as fh:
+        doc = _json.load(fh)
+    # accept a bare schedule list, a run record, or a shrink report
+    if isinstance(doc, dict):
+        doc = doc.get("schedule", doc)
+    if not isinstance(doc, list):
+        raise ValueError(f"{path} holds no fault schedule")
+    return doc
+
+
+def _chaos_main(args) -> int:
+    import json as _json
+
+    from repro.chaos import (SCENARIOS, find_failing, get_scenario,
+                             run_campaign, run_schedule, shrink_schedule)
+    from repro.errors import ConfigError
+
+    if args.action == "list":
+        for name in sorted(SCENARIOS):
+            sc = SCENARIOS[name]
+            clean = "clean" if sc.expect_clean else "SEEDED BUG"
+            print(f"  {name:14s} n_nodes={sc.n_nodes} "
+                  f"horizon={sc.horizon_us:.0f}us [{clean}]")
+            print(f"  {'':14s} {sc.description}")
+        return 0
+
+    if args.action == "report":
+        if not args.names:
+            print("chaos report requires a verdict JSON path",
+                  file=sys.stderr)
+            return 2
+        with open(args.names[0], encoding="utf-8") as fh:
+            v = _json.load(fh)
+        print(f"[chaos seed={v['seed']}] runs={v['runs']} "
+              f"errors={v['run_errors']} "
+              f"mismatches={len(v['kernel_mismatches'])} "
+              f"findings={len(v['findings'])} "
+              f"violations={len(v['violations'])} verdict={v['verdict']}")
+        for e in v["violations"][:10]:
+            print(f"  VIOLATION {e['scenario']}#{e['index']} "
+                  f"[{e['kernel']}]: {e['msgs'][:1]}")
+        for e in v["findings"][:10]:
+            print(f"  finding {e['scenario']}#{e['index']} "
+                  f"[{e['kernel']}]: {len(e['msgs'])} msg(s)")
+        return 0 if v["verdict"] == "ok" else 1
+
+    kernels = ["fast", "slow"] if args.both_kernels else [args.kernel]
+
+    if args.action == "run":
+        names = args.names or ["locks", "ddss"]
+        try:
+            verdict = run_campaign(
+                scenarios=names, seed=args.seed,
+                n_schedules=args.schedules, kernels=kernels,
+                workers=args.workers, store_path=args.store,
+                progress=False)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"[chaos seed={args.seed}] runs={verdict['runs']} "
+              f"errors={verdict['run_errors']} "
+              f"mismatches={len(verdict['kernel_mismatches'])} "
+              f"findings={len(verdict['findings'])} "
+              f"violations={len(verdict['violations'])} "
+              f"verdict={verdict['verdict']}")
+        for e in verdict["violations"][:10]:
+            print(f"  VIOLATION {e['scenario']}#{e['index']} "
+                  f"[{e['kernel']}]:")
+            for msg in e["msgs"][:3]:
+                print(f"    {msg}")
+            for label in e["faults"]:
+                print(f"    fault: {label}")
+        for m in verdict["kernel_mismatches"][:5]:
+            print(f"  KERNEL MISMATCH {m['scenario']}#{m['index']}: "
+                  f"{m['shas']}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(verdict, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if verdict["verdict"] == "ok" else 1
+
+    # replay / shrink operate on one scenario + one schedule
+    if not args.names:
+        print(f"chaos {args.action} requires a scenario name; "
+              f"try: repro chaos list", file=sys.stderr)
+        return 2
+    name = args.names[0]
+    try:
+        scenario = get_scenario(name)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.schedule:
+        schedule = _chaos_load_schedule(args.schedule)
+        index = None
+    elif args.action == "shrink" and args.index is None:
+        hit = find_failing(name, seed=args.seed,
+                           n_schedules=args.schedules,
+                           kernel=kernels[0])
+        if hit is None:
+            print(f"no failing schedule for {name!r} in the first "
+                  f"{args.schedules} samples of seed {args.seed}")
+            return 1
+        schedule, index = hit["schedule"], hit["index"]
+        print(f"shrinking {name}#{index} (seed {args.seed})")
+    else:
+        index = args.index if args.index is not None else 0
+        schedule = scenario.space().sample(args.seed, index)
+
+    if args.action == "replay":
+        rec = run_schedule(name, schedule, args.seed, kernel=kernels[0])
+        if index is not None:
+            rec["index"] = index
+        _chaos_print_record(rec)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(rec, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if rec["verdict"] == "ok" else 1
+
+    # shrink
+    report = shrink_schedule(name, schedule, args.seed,
+                             kernel=kernels[0],
+                             max_probes=args.max_probes)
+    if not report["failed"]:
+        print(f"schedule does not fail {name!r}; nothing to shrink")
+        return 1
+    print(f"shrunk {report['original_faults']} -> "
+          f"{report['kept_faults']} fault(s) "
+          f"in {report['probes']} probes:")
+    for label in report["labels"]:
+        print(f"  {label}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # lab subcommand (parallel sweeps + resumable store)
 # ---------------------------------------------------------------------------
 
@@ -640,6 +801,42 @@ def main(argv=None) -> int:
                              "(0 = per-check default)")
     checkp.add_argument("--workers", type=int, default=0,
                         help="meta: lab pool workers (0 = in-process)")
+    chaosp = sub.add_parser(
+        "chaos", help="randomized fault-schedule campaigns judged by "
+                      "oracles, with reproducer shrinking")
+    chaosp.add_argument("action",
+                        choices=["list", "run", "replay", "shrink",
+                                 "report"])
+    chaosp.add_argument("names", nargs="*",
+                        help="scenario names for run/replay/shrink "
+                             "(run default: locks ddss); verdict JSON "
+                             "path for report")
+    chaosp.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (schedules are a pure "
+                             "function of seed+index)")
+    chaosp.add_argument("--schedules", type=int, default=10,
+                        help="schedules per scenario per kernel "
+                             "(run), or samples scanned for a failure "
+                             "(shrink without --index)")
+    chaosp.add_argument("--index", type=int, default=None,
+                        help="replay/shrink this sampled schedule index")
+    chaosp.add_argument("--schedule", metavar="PATH", default=None,
+                        help="replay/shrink a schedule from this JSON "
+                             "file (bare list, run record, or shrink "
+                             "report)")
+    chaosp.add_argument("--kernel", choices=["fast", "slow"],
+                        default="fast")
+    chaosp.add_argument("--both-kernels", action="store_true",
+                        help="run: every schedule under both event "
+                             "kernels, diffing canonical trace digests")
+    chaosp.add_argument("--workers", type=int, default=0,
+                        help="lab pool workers (0 = in-process)")
+    chaosp.add_argument("--store", metavar="DIR", default=None,
+                        help="run: resumable lab result store directory")
+    chaosp.add_argument("--max-probes", type=int, default=64,
+                        help="shrink: probe budget (default 64)")
+    chaosp.add_argument("--json", metavar="PATH", default=None,
+                        help="write the verdict/record/reproducer here")
     labp = sub.add_parser(
         "lab", help="parallel experiment sweeps with a resumable "
                     "result store")
@@ -698,6 +895,9 @@ def main(argv=None) -> int:
 
     if args.command == "check":
         return _check_main(args)
+
+    if args.command == "chaos":
+        return _chaos_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

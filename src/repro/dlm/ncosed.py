@@ -177,16 +177,31 @@ class NCoSEDManager(LockManagerBase):
         self._suspect: Dict[int, Set[int]] = {}
         #: (time, lock, new_epoch) for every reclaim, for tests
         self.reclaims: List[Tuple[float, int, int]] = []
+        #: lock -> node id hosting the word after a failover rehome
+        self._home_override: Dict[int, int] = {}
+        #: (time, lock, old_home, new_home) for every rehome
+        self.rehomes: List[Tuple[float, int, int, int]] = []
         super().__init__(cluster, n_locks=n_locks,
                          member_nodes=member_nodes)
         if self.ft:
             self.env.process(self._reap_proc(), name="ncosed-reaper")
+            if detector is not None and hasattr(detector, "subscribe"):
+                # a transition-reporting detector drives lock-home
+                # failover; a bare oracle only gates the reaper
+                detector.subscribe(self._on_detector)
 
     def _setup_homes(self) -> None:
         self._words: Dict[int, MemoryRegion] = {}
         for node in self.members:
             self._words[node.id] = node.memory.register(
                 8 * self.n_locks, name=f"ncosed-words@{node.name}")
+
+    def home_node(self, lock_id: int) -> Node:
+        override = self._home_override.get(lock_id)
+        if override is not None:
+            self._check_lock(lock_id)
+            return next(n for n in self.members if n.id == override)
+        return super().home_node(lock_id)
 
     def word(self, lock_id: int):
         home = self.home_node(lock_id)
@@ -243,8 +258,12 @@ class NCoSEDManager(LockManagerBase):
                     self._reclaim(lock_id)
 
     def _should_reclaim(self, lock_id: int) -> bool:
+        if not getattr(self.detector, "has_quorum", True):
+            # minority-partition view: freezing the reaper here is what
+            # keeps a split brain from revoking the majority's grants
+            return False
         if self._node_dead(self.home_node(lock_id).id):
-            return False  # word unreachable; reclaim after restart
+            return False  # word unreachable; rehome or restart first
         if self._suspect.get(lock_id):
             return True  # a release/hand-off failed: chain state suspect
         holders = self.holders.get(lock_id, ())
@@ -285,6 +304,72 @@ class NCoSEDManager(LockManagerBase):
             self._revoked[(lock_id, token)] = old_ep
         self._suspect.pop(lock_id, None)
         self.reclaims.append((self.env.now, lock_id, new_ep))
+
+    # ------------------------------------------------------------------
+    # failover: rehome the words of a dead member
+    # ------------------------------------------------------------------
+    def _on_detector(self, node_id: int, transition: str) -> None:
+        """Detector transition: move every lock homed on a dead member
+        to the next live member in ring order.
+
+        Every member already hosts a full words region (``_setup_homes``
+        registers one per node precisely so failover needs no new
+        allocation), so rehoming is an epoch bump plus a fresh word at
+        the new home; stragglers talking to the old home are fenced by
+        the epoch check on their next protocol step.  Restores are
+        deliberately ignored: a lock stays at its failover home until
+        the next failure (moving it back would revoke live grants for
+        no safety gain).
+        """
+        if transition != "dead":
+            return
+        member_ids = [n.id for n in self.members]
+        if node_id not in member_ids:
+            return
+        # pick targets from the detector's raw reachability view: a
+        # quorum gate forwards deaths one at a time, so a peer that
+        # died in the same partition may not be "dead" yet — but it is
+        # already unreachable and must not become the new home
+        avoid = set(getattr(self.detector, "unreachable_ids", ()))
+        for lock_id in range(self.n_locks):
+            old_home = self.home_node(lock_id)
+            if old_home.id != node_id:
+                continue
+            start = member_ids.index(old_home.id)
+            for k in range(1, len(self.members)):
+                cand = self.members[(start + k) % len(self.members)]
+                if cand.id not in avoid and not self._node_dead(cand.id):
+                    self._rehome(lock_id, old_home, cand)
+                    break
+
+    def _rehome(self, lock_id: int, old_home: Node,
+                new_home: Node) -> None:
+        """Reclaim ``lock_id`` onto ``new_home`` (epoch-fenced move)."""
+        old_ep = self._epochs.get(lock_id, 0)
+        new_ep = (old_ep + 1) & _EP_MASK
+        self._epochs[lock_id] = new_ep
+        self._home_override[lock_id] = new_home.id
+        self._words[new_home.id].write_u64(
+            8 * lock_id, pack_ft(new_ep, 0, 0))
+        obs = self.env.obs
+        if obs is not None:
+            # lock.reclaim first (the sanitizer advances its epoch from
+            # it), then the informational rehome marker
+            obs.trace.emit("lock.reclaim", node=new_home.id,
+                           mgr=self.obs_name, lock=lock_id,
+                           old_ep=old_ep, new_ep=new_ep)
+            obs.metrics.counter("dlm.reclaims").inc()
+            obs.trace.emit("lock.rehome", node=new_home.id,
+                           mgr=self.obs_name, lock=lock_id,
+                           frm=old_home.id, to=new_home.id, ep=new_ep)
+            obs.metrics.counter("dlm.rehomes").inc()
+        for token, _mode in list(self.holders.get(lock_id, ())):
+            self._ledger_expunge(lock_id, token)
+            self._revoked[(lock_id, token)] = old_ep
+        self._suspect.pop(lock_id, None)
+        self.reclaims.append((self.env.now, lock_id, new_ep))
+        self.rehomes.append((self.env.now, lock_id, old_home.id,
+                             new_home.id))
 
 
 class _Tenure:
@@ -556,6 +641,13 @@ class NCoSEDClient(LockClient):
             except (_Stale, FaultError, RdmaError) as exc:
                 self._tenures.pop(lock_id, None)
                 if attempts >= mgr.max_attempts:
+                    obs = self.env.obs
+                    if obs is not None:
+                        obs.trace.emit("lock.fail", node=self.node.id,
+                                       mgr=mgr.obs_name, lock=lock_id,
+                                       token=self.token,
+                                       attempts=attempts)
+                        obs.metrics.counter("dlm.acquire_failures").inc()
                     raise LockError(
                         f"acquire of lock {lock_id} by client {self.token} "
                         f"failed after {attempts} attempts: {exc}") from exc

@@ -16,6 +16,7 @@ __all__ = [
     "TimeoutError",
     "FaultError",
     "NodeDownError",
+    "PartitionError",
     "DDSSError",
     "AllocationError",
     "CoherenceError",
@@ -65,6 +66,16 @@ class FaultError(ReproError):
 
 class NodeDownError(FaultError):
     """Communication with a crashed (or unreachable) node."""
+
+
+class PartitionError(NodeDownError):
+    """Transfer crossed an injected network partition.
+
+    Subclasses :class:`NodeDownError`: from the initiator's NIC a cut
+    link is indistinguishable from a dead peer (the RC retry budget is
+    exhausted either way), so every handler written for crashes also
+    tolerates partitions.
+    """
 
 
 class DDSSError(ReproError):

@@ -6,13 +6,24 @@ single place the :mod:`repro.net` layer consults:
 * :meth:`transfer_fault` — called by :meth:`Fabric.transfer` before any
   timing; returns an event that fails with :class:`NodeDownError` after
   ``detect_us`` when either end is crashed (modelling an RC
-  retry-exceeded completion), else ``None``.
+  retry-exceeded completion), or with :class:`PartitionError` when the
+  transfer crosses an active partition cut, else ``None``.
 * :meth:`link_factor` — multiplier applied to serialization and wire
-  latency of matching transfers (congested/flapping link windows).
+  latency of matching transfers (congested/flapping link windows and
+  ``slow_node`` gray failures).
 * :meth:`message_fate` — per delivered two-sided message: ``0`` drop,
-  ``1`` deliver, ``2`` deliver twice.
+  ``1`` deliver, ``2`` deliver twice.  Messages crossing a partition at
+  delivery time are dropped.
 * :meth:`verb_fault` — raises :class:`RdmaError` for one-sided verbs
   that fall into a failure window.
+* :meth:`credit_stall_until` — end of the active ``stall_credits``
+  window for a node (the flow-control layer defers its credit returns
+  until then), or ``None``.
+* :meth:`fence_completion` — wraps a transfer's completion event so a
+  crash (epoch bump) at either endpoint while the transfer was in
+  flight fails the completion instead of delivering it.  This is what
+  keeps a restarted node from consuming a *zombie completion* posted
+  by its previous incarnation.
 
 Crash/restart listeners let services react to membership ground truth;
 the :class:`repro.monitor.heartbeat.HeartbeatDetector` instead
@@ -21,9 +32,11 @@ the :class:`repro.monitor.heartbeat.HeartbeatDetector` instead
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, TYPE_CHECKING
+import math
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
-from repro.errors import ConfigError, NodeDownError, RdmaError
+from repro.errors import (ConfigError, NodeDownError, PartitionError,
+                          RdmaError)
 from repro.sim import Event
 
 from repro.faults.plan import FaultPlan
@@ -53,6 +66,9 @@ class FaultInjector:
         self.detect_us = detect_us
         self.rng = cluster.rng.get(rng_stream)
         self.down: Set[int] = set()
+        #: node id -> communication-context incarnation; bumped on every
+        #: crash so in-flight completions can be fenced against restarts
+        self.incarnations: Dict[int, int] = {}
         #: (time, "crash"|"restart", node_id) — the injected ground truth
         self.log: List[tuple] = []
         self._listeners: List[Callable[[int, str], None]] = []
@@ -61,16 +77,40 @@ class FaultInjector:
         self.messages_duplicated = 0
         self.verbs_failed = 0
         self.transfers_refused = 0
+        self.transfers_partitioned = 0
+        self.completions_fenced = 0
         self.fabric.injector = self
         for crash in self.plan.crashes:
             self.env.process(self._crash_proc(crash),
                              name=f"fault-crash@{crash.node}")
+        # window markers: pure trace bookkeeping (scheduled whether or
+        # not obs is installed, so the agenda is identical either way)
+        for i, part in enumerate(self.plan.partitions):
+            self.env.process(
+                self._window_proc(
+                    "fault.partition", "fault.partition.heal", part,
+                    groups=[list(g) for g in part.groups],
+                    oneway=part.oneway),
+                name=f"fault-partition-{i}")
+        for i, slow in enumerate(self.plan.slow_nodes):
+            self.env.process(
+                self._window_proc("fault.slow", "fault.slow.end", slow,
+                                  mnode=slow.node, factor=slow.factor),
+                name=f"fault-slow-{i}")
+        for i, stall in enumerate(self.plan.credit_stalls):
+            self.env.process(
+                self._window_proc("fault.stall", "fault.stall.end", stall,
+                                  mnode=stall.node),
+                name=f"fault-stall-{i}")
 
     # ------------------------------------------------------------------
     # ground truth + control
     # ------------------------------------------------------------------
     def is_down(self, node_id: int) -> bool:
         return node_id in self.down
+
+    def incarnation(self, node_id: int) -> int:
+        return self.incarnations.get(node_id, 0)
 
     def subscribe(self, fn: Callable[[int, str], None]) -> None:
         """Register ``fn(node_id, event)`` for "crash"/"restart" events."""
@@ -81,6 +121,7 @@ class FaultInjector:
         if node_id in self.down:
             return
         self.down.add(node_id)
+        self.incarnations[node_id] = self.incarnations.get(node_id, 0) + 1
         self.log.append((self.env.now, "crash", node_id))
         self._obs_fault("fault.crash", node_id)
         for fn in self._listeners:
@@ -110,28 +151,70 @@ class FaultInjector:
             yield self.env.timeout(crash.restart_at - self.env.now)
             self.restart(crash.node)
 
+    def _window_proc(self, open_etype: str, close_etype: str, fault,
+                     **fields):
+        """Emit trace markers at a windowed fault's boundaries."""
+        if fault.start > self.env.now:
+            yield self.env.timeout(fault.start - self.env.now)
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(open_etype, node=-1, until=fault.until,
+                           **fields)
+        if math.isinf(fault.until):
+            return
+        yield self.env.timeout(fault.until - self.env.now)
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(close_etype, node=-1, **fields)
+
     # ------------------------------------------------------------------
     # hooks consulted by the net layer
     # ------------------------------------------------------------------
+    def partition_cut(self, src_id: int, dst_id: Optional[int]) -> bool:
+        """True when a ``src -> dst`` transfer crosses an active cut.
+
+        ``dst_id`` of ``None`` is the multicast case: the injection
+        fails when any active partition separates the source from some
+        group (switch replication cannot cross the cut).
+        """
+        now = self.env.now
+        if dst_id is None:
+            return any(p.isolates(now, src_id)
+                       for p in self.plan.partitions)
+        return any(p.cuts(now, src_id, dst_id)
+                   for p in self.plan.partitions)
+
     def transfer_fault(self, src_id: int,
                        dst_id: Optional[int]) -> Optional[Event]:
-        """A failing event if either end is down, else None."""
+        """A failing event if either end is down or the route is cut."""
         if src_id in self.down or (dst_id is not None
                                    and dst_id in self.down):
             self.transfers_refused += 1
             culprit = src_id if src_id in self.down else dst_id
             exc = NodeDownError(
                 f"node {culprit} is down (transfer {src_id}->{dst_id})")
-            ev = self.env.event()
-            self.env.timeout(self.detect_us).add_callback(
-                lambda _t: ev.fail(exc))
-            return ev
+            return self._refuse(exc)
+        if self.plan.partitions and self.partition_cut(src_id, dst_id):
+            self.transfers_partitioned += 1
+            exc = PartitionError(
+                f"partition cuts transfer {src_id}->{dst_id}")
+            return self._refuse(exc)
         return None
+
+    def _refuse(self, exc: Exception) -> Event:
+        """Fail after ``detect_us`` — the RC retry-exhaustion model."""
+        ev = self.env.event()
+        self.env.timeout(self.detect_us).add_callback(
+            lambda _t: ev.fail(exc))
+        return ev
 
     def link_factor(self, src_id: int, dst_id: Optional[int]) -> float:
         factor = 1.0
         now = self.env.now
         for rule in self.plan.degrades:
+            if rule.matches(now, src_id, dst_id):
+                factor *= rule.factor
+        for rule in self.plan.slow_nodes:
             if rule.matches(now, src_id, dst_id):
                 factor *= rule.factor
         return factor
@@ -142,6 +225,10 @@ class FaultInjector:
             self.messages_dropped += 1
             return 0
         now = self.env.now
+        if self.plan.partitions and self.partition_cut(src_id, dst_id):
+            # arrived at the cut *after* launch: silently lost in-network
+            self.messages_dropped += 1
+            return 0
         fate = 1
         for rule in self.plan.message_faults:
             if not rule.matches(now, src_id, dst_id):
@@ -164,3 +251,47 @@ class FaultInjector:
                 self.verbs_failed += 1
                 raise RdmaError(
                     f"injected verb fault on {src_id}->{dst_id}")
+
+    def credit_stall_until(self, node_id: int) -> Optional[float]:
+        """End of the active credit-stall window covering ``node_id``
+        (the latest, when windows overlap), or ``None``."""
+        now = self.env.now
+        until = None
+        for rule in self.plan.credit_stalls:
+            if rule.matches(now, node_id):
+                if until is None or rule.until > until:
+                    until = rule.until
+        return until
+
+    # ------------------------------------------------------------------
+    # completion fencing (zombie-completion prevention)
+    # ------------------------------------------------------------------
+    def fence_completion(self, src_id: int, dst_id: Optional[int],
+                         inner: Event) -> Event:
+        """Tie ``inner``'s completion to both endpoints' incarnations.
+
+        A crash bumps the node's incarnation; if either endpoint's
+        incarnation changed while the transfer was in flight, the
+        completion belongs to a dead communication context and must not
+        be delivered — even if the node has since restarted.  The gate
+        fails with :class:`NodeDownError` instead.
+        """
+        snap = (self.incarnation(src_id),
+                self.incarnation(dst_id) if dst_id is not None else 0)
+        gate = self.env.event()
+
+        def _done(ev):
+            cur = (self.incarnation(src_id),
+                   self.incarnation(dst_id) if dst_id is not None else 0)
+            if not ev.ok:
+                gate.fail(ev._value)
+            elif cur != snap:
+                self.completions_fenced += 1
+                gate.fail(NodeDownError(
+                    f"stale completion fenced: endpoint of "
+                    f"{src_id}->{dst_id} crashed mid-transfer"))
+            else:
+                gate.succeed(ev._value)
+
+        inner.add_callback(_done)
+        return gate

@@ -24,6 +24,8 @@ dispatcher for the Fig. 8b throughput experiment.
 
 from repro.monitor.heartbeat import HeartbeatDetector
 from repro.monitor.kernel import KernelStats
+from repro.monitor.phi import PhiAccrualDetector
+from repro.monitor.quorum import QuorumGate
 from repro.monitor.loadbalancer import MonitoredLoadBalancer
 from repro.monitor.schemes import (
     ERdmaSyncMonitor,
@@ -42,6 +44,8 @@ __all__ = [
     "MonitorBase",
     "MONITOR_SCHEMES",
     "MonitoredLoadBalancer",
+    "PhiAccrualDetector",
+    "QuorumGate",
     "RdmaAsyncMonitor",
     "RdmaSyncMonitor",
     "SocketAsyncMonitor",

@@ -7,16 +7,23 @@ exactly the operation that a crashed node can no longer answer — a
 probe against a down node fails with
 :class:`repro.errors.NodeDownError` once the NIC exhausts its retries.
 
-``miss_threshold`` consecutive failed/overdue probes declare the node
-**dead**; one successful probe declares it **alive** again.  Listeners
-(e.g. :class:`repro.reconfig.ReconfigManager`) get ``(node_id,
+``miss_threshold`` consecutive failed/overdue probes mark the node
+**suspect**; ``confirm_misses`` *additional* misses confirm it **dead**.
+The confirmation stage is hysteresis against flapping: a suspect that
+answers its very next probe is quietly cleared without ever reaching
+the listeners, so a single dropped probe can no longer trigger an
+evict/backfill round-trip.  One successful probe declares a dead node
+**alive** again.  Listeners (e.g.
+:class:`repro.reconfig.ReconfigManager`) get ``(node_id,
 "dead"|"alive")`` transitions; :class:`repro.dlm.NCoSEDManager` accepts
 the detector as its failure oracle via ``is_dead``.
 
 Unlike :class:`repro.faults.FaultInjector` ground truth, this detector
 *discovers* failures by probing, so detection lags a crash by up to
-``period_us * miss_threshold`` — the window every recovery protocol
-above it has to tolerate.
+:meth:`detect_bound_us` — the window every recovery protocol above it
+has to tolerate.  :class:`repro.monitor.phi.PhiAccrualDetector`
+replaces the counter with an adaptive suspicion level on the same
+probing machinery.
 """
 
 from __future__ import annotations
@@ -36,24 +43,30 @@ class HeartbeatDetector:
     def __init__(self, front: Node, targets: Sequence[Node], *,
                  period_us: float = 1_000.0,
                  timeout_us: float = 200.0,
-                 miss_threshold: int = 3):
+                 miss_threshold: int = 3,
+                 confirm_misses: int = 1):
         if period_us <= 0 or timeout_us <= 0:
             raise ConfigError("heartbeat periods must be positive")
         if miss_threshold < 1:
             raise ConfigError("miss_threshold must be >= 1")
+        if confirm_misses < 0:
+            raise ConfigError("confirm_misses must be >= 0")
         self.front = front
         self.env = front.env
         self.period_us = period_us
         self.timeout_us = timeout_us
         self.miss_threshold = miss_threshold
+        self.confirm_misses = confirm_misses
         self.targets = list(targets)
         self._keys = {}
         self._misses: Dict[int, int] = {}
+        self._suspect: Set[int] = set()
         self._dead: Set[int] = set()
         self._listeners: List[Callable[[int, str], None]] = []
         #: (time, node_id, "dead"|"alive") transition log
         self.transitions: List[tuple] = []
         self.probes = 0
+        self.flaps_absorbed = 0  # suspects cleared before confirmation
         for node in self.targets:
             if node.id == front.id:
                 raise ConfigError("front-end cannot watch itself")
@@ -70,6 +83,24 @@ class HeartbeatDetector:
     @property
     def dead_ids(self) -> Set[int]:
         return set(self._dead)
+
+    @property
+    def suspect_ids(self) -> Set[int]:
+        """Nodes past ``miss_threshold`` but not yet confirmed dead."""
+        return set(self._suspect)
+
+    @property
+    def unreachable_ids(self) -> Set[int]:
+        """Dead or suspect nodes — unfit as *targets* of a placement
+        decision (e.g. a failover rehome) even before confirmation."""
+        return self._dead | self._suspect
+
+    def detect_bound_us(self) -> float:
+        """Worst-case crash → "dead" latency: the probe in flight when
+        the crash hits, then ``miss_threshold + confirm_misses`` failed
+        probes, each a period plus the final probe timeout."""
+        probes = self.miss_threshold + self.confirm_misses
+        return self.period_us * (probes + 1) + self.timeout_us
 
     def subscribe(self, fn: Callable[[int, str], None]) -> None:
         """Register ``fn(node_id, transition)`` for "dead"/"alive"."""
@@ -95,18 +126,38 @@ class HeartbeatDetector:
 
     def _miss(self, node_id: int) -> None:
         self._misses[node_id] += 1
-        if (self._misses[node_id] >= self.miss_threshold
-                and node_id not in self._dead):
+        if node_id in self._dead:
+            return
+        misses = self._misses[node_id]
+        if misses >= self.miss_threshold + self.confirm_misses:
+            self._suspect.discard(node_id)
             self._dead.add(node_id)
+            self._obs_detect("detect.dead", node_id, misses=misses)
             self._notify(node_id, "dead")
+        elif misses >= self.miss_threshold and node_id not in self._suspect:
+            self._suspect.add(node_id)
+            self._obs_detect("detect.suspect", node_id, misses=misses)
 
     def _hit(self, node_id: int) -> None:
         self._misses[node_id] = 0
+        if node_id in self._suspect:
+            # flap absorbed: the suspect answered before confirmation,
+            # so listeners never hear about it
+            self._suspect.discard(node_id)
+            self.flaps_absorbed += 1
+            self._obs_detect("detect.clear", node_id)
         if node_id in self._dead:
             self._dead.discard(node_id)
+            self._obs_detect("detect.alive", node_id)
             self._notify(node_id, "alive")
 
     def _notify(self, node_id: int, transition: str) -> None:
         self.transitions.append((self.env.now, node_id, transition))
         for fn in self._listeners:
             fn(node_id, transition)
+
+    def _obs_detect(self, etype: str, node_id: int, **fields) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit(etype, node=self.front.id, watched=node_id,
+                           **fields)

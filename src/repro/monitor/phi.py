@@ -1,0 +1,149 @@
+"""Phi-accrual failure detection (Hayashibara et al., SRDS'04).
+
+The binary heartbeat counter answers "has the node missed k probes?".
+The phi-accrual detector instead outputs a continuous *suspicion level*
+
+    phi(node) = -log10( P(heartbeat still arrives | history) )
+
+computed from the observed distribution of inter-arrival gaps, so one
+threshold works across heterogeneous and time-varying network
+conditions: a node whose probes normally land like clockwork is
+suspected quickly, while a node behind a slow link (gray failure!)
+earns a wide tolerance band automatically instead of flapping.
+
+Implementation notes
+--------------------
+
+* Reuses :class:`~repro.monitor.heartbeat.HeartbeatDetector`'s probing
+  machinery (one-sided RDMA reads of the liveness word); only the
+  hit/miss accounting is replaced.
+* Inter-arrival gaps of *successful* probes feed a sliding window;
+  ``phi`` evaluates the normal tail probability of the current silence
+  ``now - last_heard``.  The standard deviation is floored at
+  ``min_std_us`` so a perfectly regular simulated network does not
+  collapse the distribution to a spike (the classic phi-accrual
+  pathology; Cassandra does the same).
+* ``suspect_phi`` / ``dead_phi`` map the continuous level back to the
+  suspect/dead states the rest of the stack consumes — listeners still
+  see plain ``(node_id, "dead"|"alive")`` transitions, and
+  :meth:`is_dead` still serves as the lock/reconfig failure oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Sequence
+
+from repro.errors import ConfigError
+from repro.monitor.heartbeat import HeartbeatDetector
+from repro.net.node import Node
+
+__all__ = ["PhiAccrualDetector"]
+
+#: floor on the phi argument's tail probability (keeps phi finite)
+_MIN_P = 1e-300
+
+
+class PhiAccrualDetector(HeartbeatDetector):
+    """Adaptive failure detector: phi thresholds over probe history."""
+
+    def __init__(self, front: Node, targets: Sequence[Node], *,
+                 period_us: float = 1_000.0,
+                 timeout_us: float = 200.0,
+                 suspect_phi: float = 1.0,
+                 dead_phi: float = 8.0,
+                 window: int = 64,
+                 min_std_us: float = None):
+        if dead_phi <= suspect_phi or suspect_phi <= 0:
+            raise ConfigError(
+                "need 0 < suspect_phi < dead_phi for phi-accrual "
+                f"thresholds, got {suspect_phi} / {dead_phi}")
+        if window < 2:
+            raise ConfigError("phi window must hold >= 2 intervals")
+        self.suspect_phi = suspect_phi
+        self.dead_phi = dead_phi
+        self.window = window
+        self.min_std_us = (period_us / 4.0 if min_std_us is None
+                           else min_std_us)
+        if self.min_std_us <= 0:
+            raise ConfigError("min_std_us must be positive")
+        # the superclass threshold machinery is bypassed (miss/hit are
+        # overridden) but its probe loops, listener plumbing and state
+        # sets are reused as-is
+        super().__init__(front, targets, period_us=period_us,
+                         timeout_us=timeout_us, miss_threshold=1,
+                         confirm_misses=0)
+        self._last: Dict[int, float] = {
+            n.id: self.env.now for n in self.targets}
+        self._intervals: Dict[int, Deque[float]] = {
+            n.id: deque([period_us], maxlen=window) for n in self.targets}
+
+    # -- suspicion level -----------------------------------------------
+    def phi(self, node_id: int) -> float:
+        """Current suspicion level for ``node_id`` (0 = just heard)."""
+        silence = self.env.now - self._last[node_id]
+        if silence <= 0:
+            return 0.0
+        win = self._intervals[node_id]
+        mean = sum(win) / len(win)
+        var = sum((x - mean) ** 2 for x in win) / len(win)
+        std = max(math.sqrt(var), self.min_std_us)
+        # one-sided normal tail: P(gap >= silence)
+        p = 0.5 * math.erfc((silence - mean) / (std * math.sqrt(2.0)))
+        return -math.log10(max(p, _MIN_P))
+
+    def detect_bound_us(self) -> float:
+        """Worst-case crash → "dead" latency with a calm history.
+
+        Solves the normal tail for the silence Δ* at which phi reaches
+        ``dead_phi`` assuming mean ≈ period and std at the floor, then
+        adds one period for the probe in flight at the crash and rounds
+        Δ* up to probe granularity (phi is only evaluated at probe
+        outcomes).
+        """
+        target = 10.0 ** (-self.dead_phi)
+        lo, hi = 0.0, 64.0
+        while hi - lo > 1e-9:  # bisect z: 0.5*erfc(z/sqrt(2)) = target
+            mid = (lo + hi) / 2.0
+            if 0.5 * math.erfc(mid / math.sqrt(2.0)) > target:
+                lo = mid
+            else:
+                hi = mid
+        silence = self.period_us + self.min_std_us * hi
+        probes = math.ceil(silence / self.period_us)
+        return self.period_us * (probes + 1) + self.timeout_us
+
+    # -- probe accounting (replaces the binary counter) ----------------
+    def _miss(self, node_id: int) -> None:
+        self._evaluate(node_id)
+
+    def _hit(self, node_id: int) -> None:
+        now = self.env.now
+        gap = now - self._last[node_id]
+        self._last[node_id] = now
+        if gap > 0:
+            self._intervals[node_id].append(gap)
+        if node_id in self._suspect:
+            self._suspect.discard(node_id)
+            self.flaps_absorbed += 1
+            self._obs_detect("detect.clear", node_id,
+                             phi=round(self.phi(node_id), 3))
+        if node_id in self._dead:
+            self._dead.discard(node_id)
+            self._obs_detect("detect.alive", node_id)
+            self._notify(node_id, "alive")
+
+    def _evaluate(self, node_id: int) -> None:
+        if node_id in self._dead:
+            return
+        level = self.phi(node_id)
+        if level >= self.dead_phi:
+            self._suspect.discard(node_id)
+            self._dead.add(node_id)
+            self._obs_detect("detect.dead", node_id, phi=round(level, 3))
+            self._notify(node_id, "dead")
+        elif level >= self.suspect_phi and node_id not in self._suspect:
+            self._suspect.add(node_id)
+            self._obs_detect("detect.suspect", node_id,
+                             phi=round(level, 3))

@@ -45,6 +45,9 @@ class Cluster:
         self.params = params or NetworkParams.infiniband()
         self.env = Environment()
         self.rng = RngStreams(seed)
+        # components that only see the Environment (e.g. RPC backoff
+        # jitter) draw from the same seeded streams via this handle
+        self.env.rng = self.rng
         self.fabric = Fabric(self.env, self.params)
         self.nodes: List[Node] = [
             Node(self.env, i, self.fabric, name=name, cores=cores_per_node)

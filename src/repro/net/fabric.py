@@ -89,18 +89,24 @@ class Fabric:
         if obs is not None:
             self._obs_transfer(obs, nbytes)
         if src_id == dst_id:
-            return self.env.timeout(self.params.local_op_us)
-        if self.env.fastpath and self.injector is None:
-            arrive_at = self._fast_arrival(src_id, nbytes)
-            if arrive_at >= 0.0:
-                done = Event(self.env)
-                self.env._schedule_at(arrive_at, done, value=None)
-                return done
-        self._pre_acquire[src_id] += 1
-        return self.env.process(
-            self._transfer_proc(src_id, dst_id, nbytes),
-            name=f"xfer-{src_id}->{dst_id}",
-        )
+            done = self.env.timeout(self.params.local_op_us)
+        else:
+            if self.env.fastpath and self.injector is None:
+                arrive_at = self._fast_arrival(src_id, nbytes)
+                if arrive_at >= 0.0:
+                    done = Event(self.env)
+                    self.env._schedule_at(arrive_at, done, value=None)
+                    return done
+            self._pre_acquire[src_id] += 1
+            done = self.env.process(
+                self._transfer_proc(src_id, dst_id, nbytes),
+                name=f"xfer-{src_id}->{dst_id}",
+            )
+        if self.injector is not None:
+            # a crash at either end while the payload is in flight must
+            # fail this completion, not deliver into the new incarnation
+            return self.injector.fence_completion(src_id, dst_id, done)
+        return done
 
     def _fast_arrival(self, src_id: int, nbytes: int) -> float:
         """Reserve ``src``'s egress link for the serialization window and
@@ -225,8 +231,11 @@ class Fabric:
                 self.env._schedule_at(arrive_at, done, value=None)
                 return done
         self._pre_acquire[src_id] += 1
-        return self.env.process(self._transfer_proc(src_id, None, nbytes),
+        done = self.env.process(self._transfer_proc(src_id, None, nbytes),
                                 name=f"mcast-{src_id}")
+        if self.injector is not None:
+            return self.injector.fence_completion(src_id, None, done)
+        return done
 
     def egress_queue_len(self, node_id: int) -> int:
         """Transfers waiting on the node's egress link (for diagnostics)."""

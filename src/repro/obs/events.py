@@ -64,6 +64,10 @@ TAXONOMY: Dict[str, tuple] = {
                     "grant forcibly ended by a lease reclaim"),
     "lock.reclaim": (("mgr", "lock", "old_ep", "new_ep"),
                      "reaper wiped the word and opened a new epoch"),
+    "lock.rehome": (("mgr", "lock", "frm", "to", "ep"),
+                    "failover moved the lock word to a live home"),
+    "lock.fail": (("mgr", "lock", "token", "attempts"),
+                  "acquire exhausted its retry budget (LockError)"),
     "lock.word": (("mgr", "lock", "word", "ft"),
                   "a protocol step observed the raw 64-bit lock word"),
     # -- flow control (repro.transport.flowcontrol) --------------------
@@ -114,7 +118,32 @@ TAXONOMY: Dict[str, tuple] = {
                           "donor node backfilled into a starved service"),
     "reconfig.restore": (("mnode", "service"),
                          "restarted node restored to a service"),
+    "reconfig.fenced": (("mnode", "service"),
+                        "membership change refused: no quorum"),
+    # -- failure detection (repro.monitor) -----------------------------
+    "detect.suspect": (("watched",),
+                       "detector marked a watched node suspect"),
+    "detect.clear": (("watched",),
+                     "suspect answered before confirmation (flap)"),
+    "detect.dead": (("watched",), "detector declared the node dead"),
+    "detect.alive": (("watched",), "dead node answered a probe again"),
+    "detect.fenced": (("watched",),
+                      "death verdict parked: decider lacks quorum"),
     # -- injected faults (repro.faults) --------------------------------
     "fault.crash": ((), "fail-stop crash of the event's node"),
     "fault.restart": ((), "crashed node came back (memory intact)"),
+    "fault.partition": (("groups", "oneway", "until"),
+                        "partition window opened (node -1 = fabric)"),
+    "fault.partition.heal": (("groups", "oneway"),
+                             "partition window closed"),
+    "fault.slow": (("mnode", "factor", "until"),
+                   "gray failure: node's transfers slowed"),
+    "fault.slow.end": (("mnode", "factor"), "slow-node window closed"),
+    "fault.stall": (("mnode", "until"),
+                    "gray failure: node's credit returns wedged"),
+    "fault.stall.end": (("mnode",), "credit-stall window closed"),
+    # -- HA choreography expectations (repro.chaos) --------------------
+    "ha.expect": (("kind", "victims", "after", "by", "start", "until"),
+                  "declarative failover should(-not)-happen assertion "
+                  "checked post-hoc by the HA oracle"),
 }

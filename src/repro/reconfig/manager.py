@@ -115,11 +115,19 @@ class ReconfigManager:
         self.evictions: List[tuple] = []
         #: node id -> services it was evicted from (for restore)
         self._evicted: Dict[int, List[Service]] = {}
+        #: (time, node_id) — membership changes refused without quorum
+        self.fenced: List[tuple] = []
         self._running = False
         if detector is not None:
             detector.subscribe(self._on_transition)
 
     # -- failure awareness -------------------------------------------------
+    def _quorate(self) -> bool:
+        """Reconfiguration is only valid while the detector side holds a
+        majority (``QuorumGate.has_quorum``); detectors without quorum
+        arithmetic (plain heartbeat) never fence."""
+        return getattr(self.detector, "has_quorum", True)
+
     def _on_transition(self, node_id: int, transition: str) -> None:
         if transition == "dead":
             self._evict(node_id)
@@ -127,6 +135,12 @@ class ReconfigManager:
             self._restore(node_id)
 
     def _evict(self, node_id: int) -> None:
+        if not self._quorate():
+            # a minority view must not rewrite membership: defense in
+            # depth behind QuorumGate's own hold-and-fence
+            self.fenced.append((self.env.now, node_id))
+            self._obs_transition("reconfig.fenced", node_id, "*")
+            return
         for svc in self.services:
             victim = next((n for n in svc.nodes if n.id == node_id), None)
             if victim is None:
@@ -171,8 +185,9 @@ class ReconfigManager:
                         service: str) -> None:
         obs = self.env.obs
         if obs is not None:
+            ep = getattr(self.detector, "config_epoch", 0)
             obs.trace.emit(etype, node=self.node.id, mnode=node_id,
-                           service=service)
+                           service=service, ep=ep)
             obs.metrics.counter(f"{etype}s").inc()
 
     def _node_dead(self, node_id: int) -> bool:
@@ -213,6 +228,8 @@ class ReconfigManager:
             yield from self._maybe_migrate()
 
     def _maybe_migrate(self):
+        if not self._quorate():
+            return  # no membership rewrites from a minority partition
         hungry = max(self.services, key=self._service_pressure)
         # donors: prefer lowest priority, then lowest pressure (QoS)
         donors = [s for s in self.services

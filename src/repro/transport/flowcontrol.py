@@ -30,6 +30,19 @@ DRAIN_PER_MSG_US = 0.05
 ACK_BATCH = 4
 
 
+def _stall_release(fabric, node_id: int):
+    """End of an active ``stall_credits`` window on ``node_id``, if any.
+
+    The receiver application keeps draining buffers during a stall —
+    the gray failure wedges only the credit/space *returns*, which is
+    exactly what starves the sender.
+    """
+    injector = fabric.injector
+    if injector is None:
+        return None
+    return injector.credit_stall_until(node_id)
+
+
 class FlowReceiver:
     """Receiving peer with a fixed preposted buffer pool."""
 
@@ -99,6 +112,11 @@ class CreditFlowSender:
                 self.receiver.delivered_bytes += msg_bytes
                 acked += 1
                 if acked == ACK_BATCH or i == n_msgs - 1:
+                    release = _stall_release(fabric, rnode.id)
+                    if release is not None:
+                        # gray failure: receiver wedged, credits held
+                        # back until the stall window closes
+                        yield env.timeout(release - env.now)
                     # credit-return control message flows back
                     ret = fabric.transfer(rnode.id, self.node.id,
                                           fabric.params.header_bytes)
@@ -167,6 +185,9 @@ class PacketizedFlowSender:
                 drained += 1
                 freed += footprint
                 if drained == ACK_BATCH or i == n_msgs - 1:
+                    release = _stall_release(fabric, rnode.id)
+                    if release is not None:
+                        yield env.timeout(release - env.now)
                     ret = fabric.transfer(rnode.id, self.node.id,
                                           p.header_bytes)
                     f = freed

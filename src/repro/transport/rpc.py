@@ -162,13 +162,17 @@ class RpcChannel:
 
     def call(self, payload: Any, size: int = 0, *,
              timeout_us: float = None, retries: int = 0,
-             backoff: float = 2.0) -> Event:
+             backoff: float = 2.0, jitter: float = 0.0) -> Event:
         """Issue one request; the event's value is the response payload.
 
         With ``timeout_us`` set, the attempt is abandoned after that
         many microseconds and re-sent up to ``retries`` more times, each
-        attempt's deadline growing by ``backoff``×.  Exhausting the
-        budget fails the event with :class:`repro.errors.TimeoutError`.
+        attempt's deadline growing by ``backoff``×.  ``jitter`` spreads
+        the growth: each retry's deadline is additionally multiplied by
+        ``1 + jitter*u`` with ``u`` drawn from the environment's seeded
+        ``"rpc-jitter"`` stream, so retry storms decorrelate while
+        same-seed replays stay byte-identical.  Exhausting the budget
+        fails the event with :class:`repro.errors.TimeoutError`.
         """
         if retries < 0:
             raise ConfigError("retries must be non-negative")
@@ -178,6 +182,13 @@ class RpcChannel:
             raise ConfigError("timeout_us must be positive")
         if backoff < 1.0:
             raise ConfigError("backoff factor must be >= 1.0")
+        if jitter < 0.0:
+            raise ConfigError("jitter must be non-negative")
+        if jitter and getattr(self.env, "rng", None) is None:
+            # a module-global RNG here would silently break replay
+            raise ConfigError(
+                "backoff jitter needs seeded env.rng streams "
+                "(build the cluster via repro.net.Cluster)")
         self.calls += 1
         if timeout_us is None and not self._pump_on:
             ev = self.env.process(self._call_proc(payload, size),
@@ -187,7 +198,7 @@ class RpcChannel:
             # or not) must go through the enveloped path.
             ev = self.env.process(
                 self._reliable_proc(payload, size, timeout_us, retries,
-                                    backoff),
+                                    backoff, jitter),
                 name="rpc-call")
         obs = self.env.obs
         if obs is not None:
@@ -233,8 +244,11 @@ class RpcChannel:
                 continue
             waiter.succeed(body.payload)
 
-    def _reliable_proc(self, payload, size, timeout_us, retries, backoff):
+    def _reliable_proc(self, payload, size, timeout_us, retries, backoff,
+                       jitter=0.0):
         self._ensure_pump()
+        # drawn lazily: a jitter-free call must consume zero randomness
+        jitter_rng = (self.env.rng.get("rpc-jitter") if jitter else None)
         rid = self.env.next_id("rpc")
         request = _RpcRequest(rid, payload)
         # One reply event for all attempts: a late reply to attempt k
@@ -256,6 +270,8 @@ class RpcChannel:
                 return reply._value
             self.timeouts += 1
             deadline_us *= backoff
+            if jitter_rng is not None:
+                deadline_us *= 1.0 + jitter * float(jitter_rng.random())
         self._waiting.pop(rid, None)
         obs = self.env.obs
         if obs is not None:

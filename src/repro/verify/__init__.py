@@ -25,6 +25,7 @@ from .trace import TRACE_FORMAT, Oracle, TraceView, replay, replay_fresh
 from .locks import LockOracle
 from .ddss import DDSSOracle
 from .cache import CacheOracle
+from .ha import HAOracle
 from .shrink import shrink
 from .suites import (ALL_ORACLES, CHECKS, canonical_trace_sha,
                      check_scenario, check_trace, run_check, run_suite)
@@ -39,6 +40,7 @@ __all__ = [
     "LockOracle",
     "DDSSOracle",
     "CacheOracle",
+    "HAOracle",
     "shrink",
     "ALL_ORACLES",
     "CHECKS",

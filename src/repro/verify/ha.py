@@ -1,0 +1,145 @@
+"""HA choreography oracle: failover should(-not) happen, and liveness.
+
+Chaos scenarios know, from their own fault schedule, what correct
+recovery looks like: *"node 3's lock home must move within the
+detection bound"*, or *"the minority side must NOT evict any majority
+node while the partition holds"*.  They declare those expectations in
+the trace itself as ``ha.expect`` events; this oracle replays the trace
+and checks each declaration against what actually happened.
+
+Expectation kinds
+-----------------
+
+``failover``
+    fields ``victims`` (node ids), ``after``, ``by``: every victim must
+    show a recovery action — ``reconfig.evict``/``reconfig.backfill``
+    of it, or a ``lock.rehome`` away from it — at a time in
+    ``(after, by]``.  A victim with no recovery action by the deadline
+    is a *liveness* violation (the system sat on a dead node).
+
+``no-failover``
+    fields ``victims``, ``start``, ``until``: no recovery action may
+    target a victim inside ``[start, until)``.  A match is a *safety*
+    violation — the classic split-brain signature, a minority view
+    evicting healthy majority nodes.
+
+``lock-settle``
+    fields ``settle`` (µs): every ``lock.request`` must reach a grant,
+    release, revoke or explicit ``lock.fail`` within ``settle`` of the
+    request (checked only for requests whose window fits inside the
+    trace).  Bounded-retry clients always resolve one way or the other;
+    a silent hang means recovery stalled.
+
+Like every oracle this one is inert on traces without its events, so it
+rides in ``ALL_ORACLES`` for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..obs.events import TraceEvent
+from .trace import Oracle
+
+__all__ = ["HAOracle"]
+
+
+class HAOracle(Oracle):
+    """Checks ``ha.expect`` declarations against observed recovery."""
+
+    NAME = "ha"
+    PREFIXES = ("ha.expect", "reconfig.evict", "reconfig.backfill",
+                "lock.rehome", "lock.request", "lock.grant",
+                "lock.release", "lock.revoke", "lock.fail")
+
+    def __init__(self):
+        super().__init__()
+        self._failover: List[dict] = []      # pending failover expects
+        self._no_failover: List[dict] = []
+        self._settle: List[float] = []
+        #: (t, victim, etype) of every observed recovery action
+        self._recoveries: List[Tuple[float, int, str]] = []
+        #: (mgr, lock, token) -> (idx, request event) awaiting outcome
+        self._requests: Dict[tuple, Tuple[int, TraceEvent]] = {}
+        self._max_t = 0.0
+
+    # -- replay ---------------------------------------------------------
+    def feed(self, idx: int, ev: TraceEvent) -> None:
+        self._max_t = max(self._max_t, ev.t)
+        if ev.etype == "ha.expect":
+            self._declare(idx, ev)
+            return
+        if ev.etype in ("reconfig.evict", "reconfig.backfill"):
+            victim = ev.fields.get("mnode")
+            if victim is not None:
+                self._recovery(idx, ev, victim)
+            return
+        if ev.etype == "lock.rehome":
+            victim = ev.fields.get("frm")
+            if victim is not None:
+                self._recovery(idx, ev, victim)
+            return
+        # lock request lifecycle (for lock-settle)
+        key = (ev.fields.get("mgr"), ev.fields.get("lock"),
+               ev.fields.get("token"))
+        if ev.etype == "lock.request":
+            self._requests[key] = (idx, ev)
+        else:  # grant/release/revoke/fail all settle the request
+            self._requests.pop(key, None)
+
+    def _declare(self, idx: int, ev: TraceEvent) -> None:
+        kind = ev.fields.get("kind")
+        if kind == "failover":
+            for victim in ev.fields.get("victims", ()):
+                self._failover.append({
+                    "idx": idx, "ev": ev, "victim": victim,
+                    "after": float(ev.fields.get("after", ev.t)),
+                    "by": float(ev.fields["by"])})
+        elif kind == "no-failover":
+            for victim in ev.fields.get("victims", ()):
+                self._no_failover.append({
+                    "idx": idx, "ev": ev, "victim": victim,
+                    "start": float(ev.fields.get("start", ev.t)),
+                    "until": float(ev.fields["until"])})
+        elif kind == "lock-settle":
+            self._settle.append(float(ev.fields["settle"]))
+        else:
+            self.flag(idx, ev, f"unknown ha.expect kind {kind!r}")
+
+    def _recovery(self, idx: int, ev: TraceEvent, victim: int) -> None:
+        self._recoveries.append((ev.t, victim, ev.etype))
+        for exp in self._no_failover:
+            if (exp["victim"] == victim
+                    and exp["start"] <= ev.t < exp["until"]):
+                self.flag(
+                    idx, ev,
+                    f"forbidden failover: {ev.etype} of node {victim} at "
+                    f"t={ev.t:.1f} inside no-failover window "
+                    f"[{exp['start']:.1f}, {exp['until']:.1f}) — "
+                    f"split-brain signature",
+                    victim=victim)
+
+    # -- end-of-trace ----------------------------------------------------
+    def finish(self) -> None:
+        for exp in self._failover:
+            if exp["by"] > self._max_t:
+                continue  # deadline beyond the trace: not judgeable
+            hit = any(exp["after"] < t <= exp["by"]
+                      and victim == exp["victim"]
+                      for t, victim, _etype in self._recoveries)
+            if not hit:
+                self.flag(
+                    exp["idx"], exp["ev"],
+                    f"missing failover: no recovery action for node "
+                    f"{exp['victim']} in ({exp['after']:.1f}, "
+                    f"{exp['by']:.1f}] — liveness violation",
+                    victim=exp["victim"])
+        for settle in self._settle:
+            for (mgr, lock, token), (idx, ev) in self._requests.items():
+                if ev.t + settle <= self._max_t:
+                    self.flag(
+                        idx, ev,
+                        f"lock request never settled: {mgr} lock {lock} "
+                        f"token {token} requested at t={ev.t:.1f} saw no "
+                        f"grant/revoke/fail within {settle:.0f}us",
+                        mgr=mgr, lock=lock, token=token)

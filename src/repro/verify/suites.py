@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..errors import ConfigError
 from .cache import CacheOracle
 from .ddss import DDSSOracle
+from .ha import HAOracle
 from .locks import LockOracle
 from .shrink import shrink as _shrink
 from .trace import TraceView, replay
@@ -32,7 +33,8 @@ __all__ = ["CHECKS", "ALL_ORACLES", "run_check", "run_suite",
 
 #: every oracle; each consumes only the event prefixes it declares, so
 #: running all of them over any trace is safe and catches cross-talk.
-ALL_ORACLES: Sequence[Callable] = (LockOracle, DDSSOracle, CacheOracle)
+ALL_ORACLES: Sequence[Callable] = (LockOracle, DDSSOracle, CacheOracle,
+                                   HAOracle)
 
 
 @contextmanager

@@ -11,9 +11,11 @@ from repro.reconfig import ReconfigManager, Service
 PERIOD = 1_000.0
 TIMEOUT = 200.0
 MISSES = 3
+CONFIRM = 1  # hysteresis: extra misses to confirm a suspect dead
 #: worst-case crash -> "dead" latency: the probe in flight when the
-#: crash hits, then MISSES failed probes, each a period + probe timeout
-DETECT_BOUND = PERIOD * (MISSES + 1) + TIMEOUT
+#: crash hits, then MISSES + CONFIRM failed probes, each a period +
+#: probe timeout
+DETECT_BOUND = PERIOD * (MISSES + CONFIRM + 1) + TIMEOUT
 
 
 def build(n=6, seed=0, plan=None):

@@ -1,0 +1,224 @@
+"""Failure-detector upgrades: heartbeat hysteresis (flap absorption),
+the phi-accrual detector, and the quorum gate that fences minority-side
+verdicts (split-brain prevention)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import Cluster
+from repro.faults import FaultPlan
+from repro.monitor import (HeartbeatDetector, PhiAccrualDetector,
+                           QuorumGate)
+
+PERIOD = 500.0
+TIMEOUT = 120.0
+
+
+def build(det_cls, n=4, seed=0, plan=None, **det_kw):
+    cluster = Cluster(n_nodes=n, seed=seed)
+    inj = cluster.install_faults(plan or FaultPlan())
+    front, backs = cluster.nodes[0], cluster.nodes[1:]
+    det = det_cls(front, backs, period_us=PERIOD, timeout_us=TIMEOUT,
+                  **det_kw)
+    return cluster, inj, det
+
+
+class TestHysteresis:
+    """Regression: a flapping node (just past miss_threshold, then
+    answering) used to be evicted; hysteresis absorbs the flap."""
+
+    def flap_plan(self, misses):
+        # fail exactly `misses` consecutive probes of node 1: probes
+        # fire at k*PERIOD, so a verb-fault window covering probes
+        # 1..misses does it deterministically
+        start = 0.5 * PERIOD
+        until = (misses + 0.5) * PERIOD
+        return FaultPlan().fail_verbs(1.0, dst=1, start=start,
+                                      until=until)
+
+    def test_flap_absorbed_never_reaches_listeners(self):
+        cluster, inj, det = build(
+            HeartbeatDetector, plan=self.flap_plan(misses=3),
+            miss_threshold=3, confirm_misses=1)
+        seen = []
+        det.subscribe(lambda nid, tr: seen.append((nid, tr)))
+        cluster.run(until=10 * PERIOD)
+        assert seen == []               # regression: used to be "dead"
+        assert det.transitions == []
+        assert det.dead_ids == set()
+        assert det.flaps_absorbed == 1  # suspect raised, then cleared
+
+    def test_sustained_misses_still_confirm_dead(self):
+        cluster, inj, det = build(
+            HeartbeatDetector, plan=self.flap_plan(misses=8),
+            miss_threshold=3, confirm_misses=1)
+        cluster.run(until=6 * PERIOD)
+        assert det.is_dead(1)
+        assert [tr for _t, nid, tr in det.transitions if nid == 1] \
+            == ["dead"]
+
+    def test_zero_confirm_restores_legacy_behaviour(self):
+        cluster, inj, det = build(
+            HeartbeatDetector, plan=self.flap_plan(misses=3),
+            miss_threshold=3, confirm_misses=0)
+        cluster.run(until=10 * PERIOD)
+        # without hysteresis the same flap is a dead->alive round trip
+        assert [tr for _t, _n, tr in det.transitions] == ["dead", "alive"]
+
+    def test_suspects_visible_while_held(self):
+        cluster, inj, det = build(
+            HeartbeatDetector, plan=self.flap_plan(misses=3),
+            miss_threshold=3, confirm_misses=2)
+        cluster.run(until=3.6 * PERIOD)
+        assert det.suspect_ids == {1}
+        cluster.run(until=10 * PERIOD)
+        assert det.suspect_ids == set()
+
+    def test_detect_bound_includes_confirmation(self):
+        cluster, inj, det = build(HeartbeatDetector, miss_threshold=3,
+                                  confirm_misses=1)
+        assert det.detect_bound_us() == PERIOD * 5 + TIMEOUT
+        cluster2, _, det2 = build(HeartbeatDetector, miss_threshold=3,
+                                  confirm_misses=0)
+        assert det2.detect_bound_us() == PERIOD * 4 + TIMEOUT
+
+    def test_confirm_validation(self):
+        cluster = Cluster(n_nodes=2, seed=0)
+        with pytest.raises(ConfigError):
+            HeartbeatDetector(cluster.nodes[0], [cluster.nodes[1]],
+                              confirm_misses=-1)
+
+
+class TestPhiAccrual:
+    def test_crash_detected_within_bound(self):
+        crash_at = 6_000.0
+        cluster, inj, det = build(
+            PhiAccrualDetector,
+            plan=FaultPlan().crash(1, at=crash_at))
+        cluster.run(until=crash_at + det.detect_bound_us() + PERIOD)
+        assert det.is_dead(1)
+        t_dead = [t for t, nid, tr in det.transitions
+                  if nid == 1 and tr == "dead"][0]
+        assert t_dead <= crash_at + det.detect_bound_us()
+
+    def test_suspect_precedes_dead(self):
+        cluster, inj, det = build(
+            PhiAccrualDetector, plan=FaultPlan().crash(1, at=5_000.0))
+        obs = cluster.observe(sanitize=False)
+        cluster.run(until=5_000.0 + det.detect_bound_us() + PERIOD)
+        kinds = [e.etype for e in obs.trace.select(prefix="detect.")
+                 if e.fields.get("watched") == 1]
+        assert "detect.suspect" in kinds and "detect.dead" in kinds
+        assert kinds.index("detect.suspect") < kinds.index("detect.dead")
+
+    def test_restart_clears_to_alive(self):
+        cluster, inj, det = build(
+            PhiAccrualDetector,
+            plan=FaultPlan().crash(1, at=5_000.0, restart_at=12_000.0))
+        cluster.run(until=20_000.0)
+        assert not det.is_dead(1)
+        assert [tr for _t, nid, tr in det.transitions if nid == 1] \
+            == ["dead", "alive"]
+
+    def test_phi_grows_with_silence(self):
+        cluster, inj, det = build(PhiAccrualDetector,
+                                  plan=FaultPlan().crash(1, at=4_000.0))
+        cluster.run(until=4_100.0)
+        early = det.phi(1)
+        cluster.run(until=6_500.0)
+        assert det.phi(1) > early
+        assert det.phi(2) < 1.0  # healthy node stays unsuspicious
+
+    def test_slow_link_widens_tolerance_no_false_dead(self):
+        """The adaptive property: a gray-slow node (probes delayed but
+        arriving) must not be declared dead."""
+        cluster, inj, det = build(
+            PhiAccrualDetector,
+            plan=FaultPlan().slow_node(1, 6.0, start=4_000.0,
+                                       until=20_000.0))
+        cluster.run(until=30_000.0)
+        dead = [nid for _t, nid, tr in det.transitions if tr == "dead"]
+        assert dead == []
+
+    def test_threshold_validation(self):
+        cluster = Cluster(n_nodes=2, seed=0)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(cluster.nodes[0], [cluster.nodes[1]],
+                               suspect_phi=5.0, dead_phi=2.0)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(cluster.nodes[0], [cluster.nodes[1]],
+                               window=1)
+
+
+def gate_build(n=5, seed=0, plan=None, hold_us=PERIOD):
+    cluster = Cluster(n_nodes=n, seed=seed)
+    inj = cluster.install_faults(plan or FaultPlan())
+    front, backs = cluster.nodes[0], cluster.nodes[1:]
+    det = PhiAccrualDetector(front, backs, period_us=PERIOD,
+                             timeout_us=TIMEOUT)
+    gate = QuorumGate(det, hold_us=hold_us)
+    return cluster, inj, det, gate
+
+
+class TestQuorumGate:
+    def test_majority_side_forwards_dead_within_hold(self):
+        # {0,1,2} | {3,4}: front keeps quorum 3/5, far side dies
+        start = 6_000.0
+        cluster, inj, det, gate = gate_build(
+            plan=FaultPlan().partition([[0, 1, 2], [3, 4]], start=start,
+                                       until=1e9))
+        bound = det.detect_bound_us() + gate.hold_us + PERIOD
+        cluster.run(until=start + bound)
+        assert gate.dead_ids == {3, 4}
+        assert gate.has_quorum
+        assert gate.fenced == []
+        assert gate.config_epoch == 2
+        for t, _nid, tr in gate.transitions:
+            assert tr == "dead" and t <= start + bound
+
+    def test_minority_side_fences_everything(self):
+        # {0,1} | {2,3,4}: front lost quorum — verdicts must be fenced
+        start = 6_000.0
+        cluster, inj, det, gate = gate_build(
+            plan=FaultPlan().partition([[0, 1], [2, 3, 4]], start=start,
+                                       until=1e9))
+        cluster.run(until=start + det.detect_bound_us()
+                    + gate.hold_us + 5 * PERIOD)
+        assert det.dead_ids == {2, 3, 4}   # inner detector fires...
+        assert gate.dead_ids == set()      # ...but nothing is forwarded
+        assert not gate.has_quorum
+        assert {nid for _t, nid in gate.fenced} == {2, 3, 4}
+        assert gate.transitions == []
+
+    def test_heal_flushes_fenced_verdicts_or_clears(self):
+        # partition heals: nodes answer probes again, so the parked
+        # verdicts must NOT surface as deaths afterwards
+        start, until = 6_000.0, 14_000.0
+        cluster, inj, det, gate = gate_build(
+            plan=FaultPlan().partition([[0, 1], [2, 3, 4]], start=start,
+                                       until=until))
+        cluster.run(until=until + 5 * PERIOD)
+        assert det.dead_ids == set()
+        assert gate.dead_ids == set()
+        assert [tr for _t, _n, tr in gate.transitions] == []
+
+    def test_real_deaths_during_quorum_loss_forward_after_recovery(self):
+        # nodes 3,4 crash for good; a partition then hides 2 as well,
+        # costing quorum; when it heals, the still-dead 3,4 forward
+        cluster, inj, det, gate = gate_build(
+            plan=(FaultPlan()
+                  .crash(3, at=4_000.0)
+                  .crash(4, at=4_000.0)
+                  .partition([[0, 1], [2, 3, 4]], start=4_500.0,
+                             until=16_000.0)))
+        cluster.run(until=30_000.0)
+        assert gate.dead_ids == {3, 4}
+        assert not det.is_dead(2) and not gate.is_dead(2)
+
+    def test_oracle_interface_matches_detector(self):
+        cluster, inj, det, gate = gate_build()
+        assert gate.is_dead(1) is False
+        assert gate.dead_ids == set()
+        assert gate.n_members == 5 and gate.quorum == 3
+        with pytest.raises(ConfigError):
+            QuorumGate(det, n_members=0)

@@ -84,7 +84,7 @@ class TestTaxonomy:
         # every dotted type's first segment groups a subsystem
         roots = {e.split(".")[0] for e in TAXONOMY}
         assert roots == {"verb", "msg", "rpc", "lock", "flow", "cache",
-                         "ddss", "reconfig", "fault"}
+                         "ddss", "reconfig", "fault", "detect", "ha"}
 
 
 class TestCounterGauge:

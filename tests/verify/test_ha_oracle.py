@@ -1,0 +1,161 @@
+"""HAOracle on synthetic traces: declared failover must happen in its
+window (liveness), forbidden failover must not (split-brain safety),
+lock requests must settle, and malformed declarations are flagged."""
+
+from repro.obs.events import TraceEvent
+from repro.verify import HAOracle, TraceView, replay_fresh
+
+
+def _ev(t, etype, node=-1, **fields):
+    return TraceEvent(t, node, etype, fields)
+
+
+def _expect(t, kind, **fields):
+    return _ev(t, "ha.expect", kind=kind, **fields)
+
+
+def _tick(t):
+    """Advance the oracle's trace clock (only PREFIXES events count)."""
+    return _ev(t, "lock.release", node=0, mgr="clock", lock=99, token=0)
+
+
+def _replay(events):
+    oracles, violations = replay_fresh(TraceView(events), [HAOracle])
+    return oracles[0], violations
+
+
+def _msgs(violations):
+    return " | ".join(v["msg"] for v in violations)
+
+
+class TestFailoverLiveness:
+    DECL = dict(victims=[3], after=100.0, by=500.0)
+
+    def test_rehome_inside_window_satisfies(self):
+        _o, violations = _replay([
+            _expect(0.0, "failover", **self.DECL),
+            _ev(300.0, "lock.rehome", node=0, lock=1, frm=3, to=1, ep=2),
+            _ev(900.0, "lock.grant", node=1, mgr="m", lock=1, token=5),
+        ])
+        assert violations == []
+
+    def test_evict_and_backfill_count_as_recovery(self):
+        for etype in ("reconfig.evict", "reconfig.backfill"):
+            _o, violations = _replay([
+                _expect(0.0, "failover", **self.DECL),
+                _ev(400.0, etype, node=0, mnode=3),
+                _tick(900.0),
+            ])
+            assert violations == [], etype
+
+    def test_missing_recovery_is_liveness_violation(self):
+        _o, violations = _replay([
+            _expect(0.0, "failover", **self.DECL),
+            _tick(900.0),  # trace extends past the deadline
+        ])
+        assert len(violations) == 1
+        assert "missing failover" in _msgs(violations)
+        assert "liveness" in _msgs(violations)
+
+    def test_late_recovery_still_violates(self):
+        _o, violations = _replay([
+            _expect(0.0, "failover", **self.DECL),
+            _ev(700.0, "lock.rehome", node=0, lock=1, frm=3, to=1, ep=2),
+        ])
+        assert "missing failover" in _msgs(violations)
+
+    def test_recovery_of_wrong_victim_does_not_count(self):
+        _o, violations = _replay([
+            _expect(0.0, "failover", **self.DECL),
+            _ev(300.0, "lock.rehome", node=0, lock=1, frm=2, to=1, ep=2),
+            _tick(900.0),
+        ])
+        assert "missing failover" in _msgs(violations)
+
+    def test_deadline_beyond_trace_is_not_judged(self):
+        # trace ends at t=200 < by=500: absence proves nothing
+        _o, violations = _replay([
+            _expect(0.0, "failover", **self.DECL),
+            _tick(200.0),  # in-prefix, so the oracle sees the trace end
+        ])
+        assert violations == []
+
+
+class TestNoFailoverSafety:
+    DECL = dict(victims=[2, 3], start=100.0, until=900.0)
+
+    def test_quiet_window_passes(self):
+        _o, violations = _replay([
+            _expect(0.0, "no-failover", **self.DECL),
+            _ev(950.0, "lock.rehome", node=0, lock=0, frm=3, to=1, ep=2),
+        ])
+        assert violations == []  # recovery after the window is fine
+
+    def test_eviction_inside_window_is_split_brain(self):
+        _o, violations = _replay([
+            _expect(0.0, "no-failover", **self.DECL),
+            _ev(400.0, "lock.rehome", node=0, lock=0, frm=3, to=1, ep=2),
+        ])
+        assert len(violations) == 1
+        assert "forbidden failover" in _msgs(violations)
+        assert "split-brain" in _msgs(violations)
+
+    def test_non_victim_recovery_is_allowed(self):
+        _o, violations = _replay([
+            _expect(0.0, "no-failover", **self.DECL),
+            _ev(400.0, "reconfig.evict", node=0, mnode=4),
+        ])
+        assert violations == []
+
+
+class TestLockSettle:
+    def req(self, t, token):
+        return _ev(t, "lock.request", node=1, mgr="m", lock=0,
+                   token=token, mode="EXCLUSIVE")
+
+    def test_granted_request_settles(self):
+        _o, violations = _replay([
+            _expect(0.0, "lock-settle", settle=500.0),
+            self.req(100.0, 7),
+            _ev(200.0, "lock.grant", node=1, mgr="m", lock=0, token=7),
+            _tick(2_000.0),
+        ])
+        assert violations == []
+
+    def test_explicit_fail_settles_too(self):
+        _o, violations = _replay([
+            _expect(0.0, "lock-settle", settle=500.0),
+            self.req(100.0, 7),
+            _ev(300.0, "lock.fail", node=1, mgr="m", lock=0, token=7),
+            _tick(2_000.0),
+        ])
+        assert violations == []
+
+    def test_silent_hang_is_flagged(self):
+        _o, violations = _replay([
+            _expect(0.0, "lock-settle", settle=500.0),
+            self.req(100.0, 7),
+            _tick(2_000.0),
+        ])
+        assert "never settled" in _msgs(violations)
+
+    def test_request_near_trace_end_not_judged(self):
+        _o, violations = _replay([
+            _expect(0.0, "lock-settle", settle=500.0),
+            self.req(100.0, 7),
+            _tick(400.0),  # window extends past the trace
+        ])
+        assert violations == []
+
+
+class TestDeclarations:
+    def test_unknown_kind_is_flagged(self):
+        _o, violations = _replay([_expect(0.0, "failsafe", victims=[1])])
+        assert "unknown ha.expect kind" in _msgs(violations)
+
+    def test_oracle_is_inert_without_expectations(self):
+        oracle, violations = _replay([
+            _ev(100.0, "lock.rehome", node=0, lock=0, frm=3, to=1, ep=2),
+            _ev(200.0, "reconfig.evict", node=0, mnode=3),
+        ])
+        assert violations == []
