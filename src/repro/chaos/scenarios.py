@@ -253,6 +253,76 @@ def _ddss(seed: int, n_nodes: int, schedule: Sequence[dict],
     return obs
 
 
+def _txn(seed: int, n_nodes: int, schedule: Sequence[dict],
+         fence: bool = True):
+    """Multi-key transactions under chaos: transfers over units homed
+    on the protected front node (the data path never faults, so every
+    outcome is determinate) while the 2PL workers' N-CoSED lock homes
+    are spread across faultable nodes — failed acquires must surface
+    as clean aborts, never as torn or lost writes.  Judged by the txn
+    oracle plus the usual lock/HA choreography."""
+    from repro.net import Cluster
+    from repro.monitor import PhiAccrualDetector, QuorumGate
+    from repro.dlm import NCoSEDManager
+    from repro.ddss import DDSS, Coherence
+    from repro.txn import OCCTxnClient, TwoPLTxnClient
+    from repro.workloads.tpcc import transfer_txn
+
+    cluster = Cluster(n_nodes=n_nodes, seed=seed)
+    obs = cluster.observe(sanitize=True, strict=False)
+    cluster.install_faults(plan_from_schedule(schedule))
+    front, backs = cluster.nodes[0], cluster.nodes[1:]
+    phi = PhiAccrualDetector(front, backs, period_us=PERIOD_US,
+                             timeout_us=TIMEOUT_US)
+    detector = QuorumGate(phi, hold_us=HOLD_US) if fence else phi
+    manager = NCoSEDManager(cluster, n_locks=N_LOCKS, lease_us=800.0,
+                            detector=detector)
+    bound = (phi.detect_bound_us() + (HOLD_US if fence else 0.0)
+             + 2.0 * PERIOD_US)
+    for exp in ha_expectations(schedule, n_nodes, N_LOCKS, bound):
+        obs.trace.emit("ha.expect", node=-1, **exp)
+    env = cluster.env
+    rng = cluster.rng.get("chaos-txn")
+    horizon = SCENARIOS["txn"].horizon_us
+    ddss = DDSS(cluster, segment_bytes=256 * 1024)
+    accounts: List[int] = []
+
+    def setup(env):
+        store = ddss.client(front)
+        init = OCCTxnClient(store)
+        for _ in range(N_LOCKS):
+            key = yield store.allocate(32, coherence=Coherence.VERSION,
+                                       placement=front.id)
+            accounts.append(key)
+            yield init.init(key, (100).to_bytes(8, "big")
+                            + b"\x00" * 24)
+
+    env.run_until_event(env.process(setup(env), name="chaos-txn-setup"))
+    lock_of = {k: i for i, k in enumerate(accounts)}
+
+    def actor(env, client, delay, n_txns):
+        yield env.timeout(delay)
+        for _ in range(n_txns):
+            i, j = rng.choice(len(accounts), size=2, replace=False)
+            txn = transfer_txn(accounts[int(i)], accounts[int(j)],
+                               int(rng.integers(1, 20)))
+            yield client.run(txn)  # aborts are absorbed into the result
+            yield env.timeout(rng.uniform(100.0, 600.0))
+
+    for i in range(2 * n_nodes):
+        store = ddss.client(front)
+        if i % 2:
+            client = TwoPLTxnClient(store, manager.client(front),
+                                    lock_of=lock_of, max_attempts=4)
+        else:
+            client = OCCTxnClient(store, max_attempts=4)
+        env.process(actor(env, client, rng.uniform(0.0, 0.7) * horizon,
+                          n_txns=3),
+                    name=f"chaos-txn-{i}")
+    env.run(until=horizon)
+    return obs
+
+
 SCENARIOS: Dict[str, ChaosScenario] = {
     "locks": ChaosScenario(
         name="locks", builder=_locks, n_nodes=5, horizon_us=40_000.0,
@@ -271,6 +341,12 @@ SCENARIOS: Dict[str, ChaosScenario] = {
         kinds=("partition", "crash", "slow", "stall", "drop"),
         description="replicated DDSS coherence contracts under "
                     "partitions, crashes and gray failures"),
+    "txn": ChaosScenario(
+        name="txn", builder=_txn, n_nodes=5, horizon_us=40_000.0,
+        fence=True, expect_clean=True, max_faults=3,
+        description="OCC + 2PL transfers under chaos: committed txns "
+                    "stay serializable, failed lock acquires abort "
+                    "cleanly, failover choreography holds"),
 }
 
 

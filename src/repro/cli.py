@@ -687,6 +687,91 @@ def _lab_bench_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# txn subcommand (multi-key transactions: OCC vs 2PL)
+# ---------------------------------------------------------------------------
+
+def _txn_main(args) -> int:
+    import json as _json
+
+    from repro.txn.scenarios import build_txn_scenario
+    from repro.verify import ALL_ORACLES, TraceView, replay
+    from repro.verify.suites import _kernel
+
+    if args.action == "run":
+        with _kernel(args.kernel):
+            obs, stats = build_txn_scenario(
+                args.variant, args.seed, args.n_nodes,
+                n_keys=args.n_keys)
+        view = TraceView.from_obs(obs).require_complete()
+        oracles = [f() for f in ALL_ORACLES]
+        violations = replay(view, oracles)
+        sanitizers = obs.violations()
+        ok = (not violations and not sanitizers
+              and stats["conserved"])
+        print(f"[txn {args.variant}] seed={args.seed} "
+              f"n_keys={args.n_keys} [{args.kernel}]")
+        print(f"  commits={stats['commits']} aborts={stats['aborts']} "
+              f"attempt_aborts={stats['attempt_aborts']} "
+              f"wedges={stats['wedges']}")
+        print(f"  abort_rate={stats['abort_rate']:.3f} "
+              f"commit_per_s={stats['commit_per_s']:.1f} "
+              f"conserved={stats['conserved']}")
+        for o in oracles:
+            print(f"  {o.NAME:6s} checked={o.checked:6d} "
+                  f"violations={len(o.violations)}")
+        for v in violations[:5]:
+            print(f"    VIOLATION: {v['msg']}")
+        print(f"verdict={'ok' if ok else 'violation'}")
+        if args.json:
+            doc = {"stats": stats,
+                   "oracles": {o.NAME: o.to_dict() for o in oracles},
+                   "sanitizers": list(sanitizers),
+                   "verdict": "ok" if ok else "violation"}
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if ok else 1
+
+    # bench: the packaged contention sweep, deterministic output
+    from repro.lab import ResultStore, Runner, merge_tables
+    from repro.lab.scenarios import packaged_sweep
+
+    sweep = packaged_sweep("txn")
+    store = ResultStore(None)
+    runner = Runner(sweep, store, workers=args.workers)
+    report = runner.run()
+    if report["failed"]:
+        for failure in report["failures"]:
+            print(f"FAILED {failure['run_id']}: {failure['error']}",
+                  file=sys.stderr)
+        return 1
+    tables = merge_tables(sweep, store)
+    for table in tables:
+        table.show()
+    records = sorted(store.records(), key=lambda r: r["run_id"])
+    doc = {
+        "sweep": sweep.name,
+        "records": [{"run_id": r["run_id"], "params": r["params"],
+                     "seed": r["seed"], "repeat": r["repeat"],
+                     "result": r["result"]} for r in records],
+        "tables": [{"title": t.title, "columns": t.columns,
+                    "rows": t.rows} for t in tables],
+    }
+    bad = [r for r in records if not r["result"]["conserved"]]
+    doc["verdict"] = "ok" if not bad else "violation"
+    with open(args.out, "w", encoding="utf-8") as fh:
+        _json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if bad:
+        print("FATAL: conservation failed in a sweep cell",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # engine benchmark subcommand
 # ---------------------------------------------------------------------------
 
@@ -837,6 +922,27 @@ def main(argv=None) -> int:
                         help="shrink: probe budget (default 64)")
     chaosp.add_argument("--json", metavar="PATH", default=None,
                         help="write the verdict/record/reproducer here")
+    txnp = sub.add_parser(
+        "txn", help="multi-key transactions over DDSS: run a workload "
+                    "under the oracle, or sweep OCC vs 2PL")
+    txnp.add_argument("action", choices=["run", "bench"])
+    txnp.add_argument("--variant", choices=["occ", "2pl", "mixed"],
+                      default="occ",
+                      help="concurrency control for 'run' "
+                           "(default: occ)")
+    txnp.add_argument("--seed", type=int, default=0)
+    txnp.add_argument("--n-nodes", type=int, default=4)
+    txnp.add_argument("--n-keys", type=int, default=4,
+                      help="account/stock pool size (fewer = hotter)")
+    txnp.add_argument("--kernel", choices=["fast", "slow"],
+                      default="fast")
+    txnp.add_argument("--workers", type=int, default=0,
+                      help="bench: lab pool workers (0 = in-process)")
+    txnp.add_argument("--json", metavar="PATH", default=None,
+                      help="run: write the verdict JSON here")
+    txnp.add_argument("--out", metavar="PATH", default="BENCH_txn.json",
+                      help="bench: result file (default: "
+                           "BENCH_txn.json)")
     labp = sub.add_parser(
         "lab", help="parallel experiment sweeps with a resumable "
                     "result store")
@@ -898,6 +1004,9 @@ def main(argv=None) -> int:
 
     if args.command == "chaos":
         return _chaos_main(args)
+
+    if args.command == "txn":
+        return _txn_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -38,14 +38,16 @@ from repro.ddss.allocator import SegmentAllocator
 from repro.ddss.client import DDSSClient
 from repro.ddss.coherence import Coherence
 from repro.ddss.ipc import IpcPortal
-from repro.ddss.substrate import DDSS, UnitMeta
+from repro.ddss.substrate import (DDSS, INSTALL_BIT, TOMBSTONE, UnitMeta)
 
 __all__ = [
     "Coherence",
     "GlobalMemoryAggregator",
     "DDSS",
     "DDSSClient",
+    "INSTALL_BIT",
     "IpcPortal",
     "SegmentAllocator",
+    "TOMBSTONE",
     "UnitMeta",
 ]

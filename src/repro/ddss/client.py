@@ -18,7 +18,8 @@ import hashlib
 from dataclasses import replace
 from typing import Dict, Optional, Tuple, Union
 
-from repro.errors import CoherenceError, DDSSError, FaultError, RdmaError
+from repro.errors import (CoherenceError, DDSSError, FaultError, RdmaError,
+                          StaleHomeError, TxnConflict)
 from repro.net.node import Node
 from repro.sim import Event
 
@@ -26,7 +27,9 @@ from repro.ddss.coherence import Coherence
 from repro.ddss.substrate import (
     DDSS,
     HEADER_BYTES,
+    INSTALL_BIT,
     LOCK_OFF,
+    TOMBSTONE,
     UnitMeta,
     VERSION_OFF,
     _req_ids,
@@ -36,6 +39,13 @@ __all__ = ["DDSSClient"]
 
 #: lock spin backoff (µs): initial, multiplier, cap
 _BACKOFF = (2.0, 2.0, 50.0)
+
+#: snapshot reads retry past a concurrent install this many times
+#: before surfacing TxnConflict
+_SNAP_SPINS = 16
+
+#: tombstone chases (stale home -> directory re-resolve) before giving up
+_MAX_CHASES = 4
 
 
 KeyOrMeta = Union[int, UnitMeta]
@@ -71,6 +81,7 @@ class DDSSClient:
         self.puts = 0
         self.cache_hits = 0
         self.failovers = 0  # copies skipped as unreachable (get or put)
+        self.stale_retries = 0  # tombstone hits re-resolved via directory
 
     # ------------------------------------------------------------------
     # control plane
@@ -407,6 +418,139 @@ class DDSSClient:
         meta = yield from self._meta(key)
         yield from self._unlock(meta)
         return None
+
+    # ------------------------------------------------------------------
+    # transactional install path (repro.txn)
+    # ------------------------------------------------------------------
+    # The version word doubles as an install lock: CAS ``v -> v|BUSY``
+    # claims the key at snapshot version ``v``; a single combined
+    # ``(v+1, data)`` write publishes atomically and releases the busy
+    # bit.  A tombstoned word (unit rebalanced away) makes every
+    # primitive re-resolve the key through the directory and retry at
+    # the new home — an install can never land at a stale location.
+
+    def snapshot(self, key: KeyOrMeta) -> Event:
+        """Atomic ``(version, data)`` read; spins past a concurrent
+        install (bounded, then :class:`TxnConflict`)."""
+        return self._proc(self._snapshot(key), "ddss-snapshot")
+
+    def _snapshot(self, key):
+        delay, mult, cap = _BACKOFF
+        spins = 0
+        meta = yield from self._meta(key)
+        while True:
+            blob = yield self.node.nic.rdma_read(
+                meta.home, meta.addr + VERSION_OFF, meta.rkey,
+                8 + meta.size)
+            word = int.from_bytes(blob[:8], "big")
+            if word == TOMBSTONE:
+                meta = yield from self._rehome(meta.key)
+                continue
+            if word & INSTALL_BIT:
+                spins += 1
+                if spins > _SNAP_SPINS:
+                    raise TxnConflict(
+                        f"unit {meta.key}: install in flight "
+                        f"({spins} snapshot retries)")
+                yield self.env.timeout(delay)
+                delay = min(delay * mult, cap)
+                continue
+            return word, blob[8:]
+
+    def peek_version(self, key: KeyOrMeta) -> Event:
+        """Raw version word (may carry ``INSTALL_BIT``); tombstones are
+        chased to the unit's current home."""
+        return self._proc(self._peek_version(key), "ddss-peek")
+
+    def _peek_version(self, key):
+        meta = yield from self._meta(key)
+        while True:
+            word = yield from self._read_version(meta)
+            if word != TOMBSTONE:
+                return word
+            meta = yield from self._rehome(meta.key)
+
+    def install_lock(self, key: KeyOrMeta, expected: int) -> Event:
+        """Claim the key for install at snapshot version ``expected``.
+
+        Raises :class:`TxnConflict` when the version moved (or another
+        install holds the word)."""
+        return self._proc(self._install_lock(key, expected),
+                          "ddss-install-lock")
+
+    def _install_lock(self, key, expected):
+        meta = yield from self._meta(key)
+        while True:
+            old = yield self.node.nic.cas(
+                meta.home, meta.addr + VERSION_OFF, meta.rkey,
+                expected, expected | INSTALL_BIT)
+            if old == expected:
+                return None
+            if old != TOMBSTONE:
+                raise TxnConflict(
+                    f"unit {meta.key}: version {old & ~INSTALL_BIT} "
+                    f"!= expected {expected}"
+                    + (" (install in flight)" if old & INSTALL_BIT
+                       else ""))
+            meta = yield from self._rehome(meta.key)
+
+    def install_abort(self, key: KeyOrMeta, expected: int) -> Event:
+        """Unwind a claimed install: restore ``expected`` into the word."""
+        return self._proc(self._install_abort(key, expected),
+                          "ddss-install-abort")
+
+    def _install_abort(self, key, expected):
+        meta = yield from self._meta(key)
+        while True:
+            old = yield self.node.nic.cas(
+                meta.home, meta.addr + VERSION_OFF, meta.rkey,
+                expected | INSTALL_BIT, expected)
+            if old == expected | INSTALL_BIT:
+                return None
+            if old != TOMBSTONE:
+                raise CoherenceError(
+                    f"unit {meta.key}: install-abort found word "
+                    f"{old:#x}, expected busy {expected}")
+            meta = yield from self._rehome(meta.key)
+
+    def install_publish(self, key: KeyOrMeta, expected: int,
+                        data: bytes) -> Event:
+        """Publish ``data`` as version ``expected + 1``; event value is
+        the new version.
+
+        Requires the install lock taken by :meth:`install_lock` at
+        ``expected``.  One combined ``(version, data)`` write commits
+        the bytes and releases the busy bit atomically; the payload is
+        zero-padded to the unit size so a snapshot's fingerprint always
+        matches the install's.  The substrate never rebalances a busy
+        unit, so the write cannot race a tombstone.
+        """
+        return self._proc(self._install_publish(key, expected, data),
+                          "ddss-install-publish")
+
+    def _install_publish(self, key, expected, data):
+        meta = yield from self._meta(key)
+        if len(data) > meta.size:
+            raise DDSSError(
+                f"install of {len(data)} bytes into unit of {meta.size}")
+        padded = bytes(data) + b"\x00" * (meta.size - len(data))
+        blob = (expected + 1).to_bytes(8, "big") + padded
+        yield self.node.nic.rdma_write(
+            meta.home, meta.addr + VERSION_OFF, meta.rkey, blob)
+        return expected + 1
+
+    def _rehome(self, key: int):
+        """Tombstone hit: drop the cached meta and re-resolve, bounded."""
+        for _ in range(_MAX_CHASES):
+            self.stale_retries += 1
+            self._meta_cache.pop(key, None)
+            meta = yield from self._lookup(key)
+            word = yield from self._read_version(meta)
+            if word != TOMBSTONE:
+                return meta
+        raise StaleHomeError(
+            f"unit {key}: still tombstoned after {_MAX_CHASES} "
+            f"directory re-resolves")
 
     # ------------------------------------------------------------------
     # internals

@@ -28,11 +28,22 @@ from repro.net.node import Node
 from repro.ddss.allocator import SegmentAllocator
 from repro.ddss.coherence import Coherence
 
-__all__ = ["DDSS", "UnitMeta", "HEADER_BYTES", "LOCK_OFF", "VERSION_OFF"]
+__all__ = ["DDSS", "UnitMeta", "HEADER_BYTES", "LOCK_OFF", "VERSION_OFF",
+           "INSTALL_BIT", "TOMBSTONE"]
 
 HEADER_BYTES = 16
 LOCK_OFF = 0
 VERSION_OFF = 8
+
+#: top bit of the version word: a transactional install is in flight.
+#: Snapshot readers spin past it; a competing installer's CAS fails.
+INSTALL_BIT = 1 << 63
+
+#: version-word value marking a *stale* unit location after a rebalance.
+#: Any CAS or snapshot that sees it must re-resolve the key through the
+#: directory (``StaleHomeError``).  All-ones can never be a live version
+#: (versions count up from zero and INSTALL_BIT is the only flag).
+TOMBSTONE = (1 << 64) - 1
 
 #: CPU time the daemon spends on one control request (µs)
 DAEMON_WORK_US = 2.0
@@ -94,6 +105,11 @@ class DDSS:
         self._directory: Dict[int, UnitMeta] = {}
         self._next_key = itertools.count(1)
         self._rr = itertools.count()  # round-robin placement cursor
+        #: (node_id, offset, nbytes) blocks tombstoned by a rebalance;
+        #: quarantined (never reused) so in-flight one-sided ops against
+        #: the stale address can only ever read the tombstone — the
+        #: simulation's stand-in for rkey revocation
+        self._quarantined: list = []
         for node in self.members:
             seg = node.memory.register(segment_bytes,
                                        name=f"ddss-seg@{node.name}")
@@ -133,6 +149,79 @@ class DDSS:
                 f"{n} replicas need {n + 1} members, have {len(ids)}")
         start = ids.index(primary)
         return tuple(ids[(start + 1 + i) % len(ids)] for i in range(n))
+
+    # -- rebalancing ---------------------------------------------------
+    def migrate_unit(self, key: int, new_home: int) -> UnitMeta:
+        """Move a unit to ``new_home``; tombstone the old location.
+
+        Control-plane operation run by the directory authority (e.g.
+        :class:`repro.reconfig.ReconfigManager` evicting a dead home):
+        copy header + data to a fresh block, stamp ``TOMBSTONE`` into
+        the old version word, repoint the directory, and quarantine the
+        old block.  A client that cached the old address sees the
+        tombstone on its next CAS or snapshot and re-resolves
+        (:class:`repro.errors.StaleHomeError`) — it can never install
+        at the stale home.
+
+        A unit whose version word carries ``INSTALL_BIT`` is mid-install
+        and is *not* moved (``DDSSError``): the installer's publish must
+        land at the address where it took the install lock.
+        """
+        meta = self._directory.get(key)
+        if meta is None:
+            raise DDSSError(f"unknown key {key}")
+        if new_home not in self._segments:
+            raise DDSSError(f"node {new_home} is not a DDSS member")
+        if meta.replicas:
+            raise DDSSError(f"unit {key} is replicated: not rebalanced")
+        if new_home == meta.home:
+            return meta
+        old_seg = self._segments[meta.home]
+        old_off = meta.addr - old_seg.addr
+        word = int.from_bytes(
+            old_seg.read(old_off + VERSION_OFF, 8), "big")
+        if word & INSTALL_BIT:
+            raise DDSSError(f"unit {key} has an install in flight")
+        nbytes = HEADER_BYTES + meta.size
+        blob = old_seg.read(old_off, nbytes)
+        new_off = self._allocators[new_home].alloc(nbytes)
+        new_seg = self._segments[new_home]
+        new_seg.write(new_off, blob)
+        old_seg.write(old_off + VERSION_OFF, TOMBSTONE.to_bytes(8, "big"))
+        self._quarantined.append((meta.home, old_off, nbytes))
+        new_meta = replace(meta, home=new_home,
+                           addr=new_seg.addr + new_off, rkey=new_seg.rkey)
+        self._directory[key] = new_meta
+        obs = self.env.obs
+        if obs is not None:
+            obs.trace.emit("ddss.migrate", node=self.meta_node.id,
+                           key=key, frm=meta.home, to=new_home)
+            obs.metrics.counter("ddss.migrations").inc()
+        return new_meta
+
+    def migrate_off(self, node_id: int,
+                    avoid: Sequence[int] = ()) -> int:
+        """Rebalance every unit homed on ``node_id`` to other members.
+
+        New homes are chosen in ring order, skipping ``node_id`` and
+        any node in ``avoid`` (e.g. other dead nodes).  Units with an
+        install in flight are skipped (a later call retries them).
+        Returns the number of units moved.
+        """
+        banned = {node_id, *avoid}
+        targets = [m.id for m in self.members if m.id not in banned]
+        if not targets:
+            raise DDSSError("no live member left to rebalance onto")
+        moved = 0
+        victims = sorted(k for k, m in self._directory.items()
+                         if m.home == node_id and not m.replicas)
+        for i, key in enumerate(victims):
+            try:
+                self.migrate_unit(key, targets[i % len(targets)])
+            except DDSSError:
+                continue  # busy or full target: leave for a retry
+            moved += 1
+        return moved
 
     # -- daemon ------------------------------------------------------------
     def _daemon(self, node: Node):

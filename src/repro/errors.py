@@ -20,6 +20,9 @@ __all__ = [
     "DDSSError",
     "AllocationError",
     "CoherenceError",
+    "StaleHomeError",
+    "TxnError",
+    "TxnConflict",
     "LockError",
     "CacheError",
     "MonitorError",
@@ -88,6 +91,24 @@ class AllocationError(DDSSError):
 
 class CoherenceError(DDSSError):
     """Coherence-model contract violation."""
+
+
+class StaleHomeError(DDSSError):
+    """A one-sided op hit a tombstoned unit location (rebalanced away).
+
+    The unit was migrated to a new home after the client cached its
+    metadata; the client must invalidate the cache, re-resolve the key
+    through the directory, and retry at the new location.
+    """
+
+
+class TxnError(ReproError):
+    """Multi-key transaction failure."""
+
+
+class TxnConflict(TxnError):
+    """Optimistic validation failed: a read or write set member changed
+    (or is mid-install) since the snapshot.  Abort and retry."""
 
 
 class LockError(ReproError):

@@ -24,8 +24,9 @@ from .spec import Sweep
 __all__ = ["SWEEPS", "packaged_sweep",
            "hybcc_threshold", "monitor_period", "lock_backoff",
            "lock_cascade", "obs_export", "dc_tps", "engine_bench",
-           "smoke", "fold_by_param", "fold_hybcc", "fold_period",
-           "fold_backoff", "fold_dc", "fold_obs"]
+           "smoke", "txn_point", "fold_by_param", "fold_hybcc",
+           "fold_period", "fold_backoff", "fold_dc", "fold_obs",
+           "fold_txn"]
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +156,23 @@ def dc_tps(scheme: str, doc_bytes: int, seed: int = 0) -> Dict[str, Any]:
     return {"tps": round(tps, 3)}
 
 
+def txn_point(variant: str = "occ", n_keys: int = 8,
+              seed: int = 0) -> Dict[str, Any]:
+    """One (variant × contention) cell of the OCC-vs-2PL txn sweep."""
+    from ..txn.scenarios import txn_bench
+
+    stats = txn_bench(variant=variant, n_keys=n_keys, seed=seed)
+    return {
+        "commits": stats["commits"],
+        "aborts": stats["aborts"],
+        "attempt_aborts": stats["attempt_aborts"],
+        "wedges": stats["wedges"],
+        "abort_rate": round(stats["abort_rate"], 4),
+        "commit_per_s": round(stats["commit_per_s"], 1),
+        "conserved": stats["conserved"],
+    }
+
+
 def smoke(x: int = 1, seed: int = 0) -> Dict[str, Any]:
     """Tiny deterministic scenario for tests and CI smoke sweeps."""
     from ..sim import Environment, RngStreams
@@ -265,6 +283,23 @@ def fold_dc(records: List[Dict[str, Any]]) -> List[BenchTable]:
     return [table]
 
 
+def fold_txn(records: List[Dict[str, Any]]) -> List[BenchTable]:
+    table = BenchTable(
+        "OCC vs 2PL commit throughput across contention",
+        ["variant", "n_keys", "seed", "commits", "attempt_aborts",
+         "abort_rate", "commit_per_s", "conserved"],
+        paper_ref="§4.1 + §4.2 composed: DDSS versioned units + "
+                  "N-CoSED locks as transaction substrates")
+    for r in _sorted_records(records, "variant", "n_keys"):
+        table.add(r["params"]["variant"], r["params"]["n_keys"],
+                  r["seed"], r["result"]["commits"],
+                  r["result"]["attempt_aborts"],
+                  r["result"]["abort_rate"],
+                  r["result"]["commit_per_s"],
+                  r["result"]["conserved"])
+    return [table]
+
+
 def fold_obs(records: List[Dict[str, Any]]) -> List[BenchTable]:
     table = BenchTable("obs scenario sweep",
                        ["scenario", "seed", "sim_now_us", "events",
@@ -319,6 +354,14 @@ def _obs4() -> Sweep:
                  seeds=(0,), fold=f"{_HERE}:fold_obs")
 
 
+def _txn() -> Sweep:
+    """OCC vs 2PL across three contention levels (hot -> cold keys)."""
+    return Sweep(name="txn", scenario=f"{_HERE}:txn_point",
+                 grid={"variant": ["occ", "2pl"],
+                       "n_keys": [2, 8, 32]},
+                 seeds=(0,), fold=f"{_HERE}:fold_txn")
+
+
 def _smoke8() -> Sweep:
     """8 fast runs — CI wiring checks, not performance."""
     return Sweep(name="smoke8", scenario=f"{_HERE}:smoke",
@@ -340,6 +383,7 @@ SWEEPS: Dict[str, Callable[[], Sweep]] = {
     "obs4": _obs4,
     "smoke8": _smoke8,
     "engine": _engine,
+    "txn": _txn,
 }
 
 

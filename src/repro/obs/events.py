@@ -109,6 +109,31 @@ TAXONOMY: Dict[str, tuple] = {
                           "unit spin-lock CAS succeeded"),
     "ddss.lock.release": (("home", "addr", "token"),
                           "unit spin-lock released"),
+    "ddss.migrate": (("key", "frm", "to"),
+                     "unit rebalanced to a new home; the old block is "
+                     "tombstoned and quarantined"),
+    # -- multi-key transactions (repro.txn) ----------------------------
+    "txn.begin": (("tid", "variant", "keys", "label"),
+                  "transaction started (attempt loop follows)"),
+    "txn.read": (("tid", "attempt", "key", "version", "nbytes", "data"),
+                 "snapshot read in this attempt's read phase (data = "
+                 "payload fingerprint as ddss.get.done)"),
+    "txn.validate": (("tid", "attempt", "ok"),
+                     "validation outcome: write set claimed at snapshot "
+                     "versions and read-only versions re-checked"),
+    "txn.install": (("tid", "attempt", "key", "version", "nbytes",
+                     "data"),
+                    "one write-set key published at its new version"),
+    "txn.commit": (("tid", "attempt", "keys", "attempts"),
+                   "every write-set key published; keys lists the "
+                   "write set (attempts = total attempts used)"),
+    "txn.abort": (("tid", "attempt", "reason"),
+                  "attempt aborted after a clean unwind (bounded "
+                  "retry may follow)"),
+    "txn.wedged": (("tid", "attempt", "installed", "keys"),
+                   "publish phase interrupted mid-write-set: installed "
+                   "keys are durable, the rest hold the busy bit "
+                   "(outcome indeterminate)"),
     # -- reconfiguration (repro.reconfig) ------------------------------
     "reconfig.migrate": (("mnode", "frm", "to"),
                          "node moved between services by load"),

@@ -93,6 +93,7 @@ class ReconfigManager:
     def __init__(self, coordinator: Node, services: Sequence[Service],
                  monitor: Optional[MonitorBase] = None,
                  detector=None,
+                 ddss=None,
                  check_every_us: float = 2_000.0,
                  sensitivity: float = 2.0,
                  cooldown_us: float = 20_000.0):
@@ -103,6 +104,10 @@ class ReconfigManager:
         self.services = list(services)
         self.monitor = monitor
         self.detector = detector
+        #: optional :class:`repro.ddss.DDSS`: evicting a dead node also
+        #: rebalances the units it homes (tombstoning old locations so
+        #: stale clients re-resolve instead of writing to a dead home)
+        self.ddss = ddss
         self.check_every_us = check_every_us
         self.sensitivity = sensitivity
         self.cooldown_us = cooldown_us
@@ -151,6 +156,14 @@ class ReconfigManager:
                                    "evict"))
             self._obs_transition("reconfig.evict", node_id, svc.name)
             self._backfill(svc)
+        if self.ddss is not None:
+            from repro.errors import DDSSError
+            dead = [m.id for m in self.ddss.members
+                    if m.id != node_id and self._node_dead(m.id)]
+            try:
+                self.ddss.migrate_off(node_id, avoid=dead)
+            except DDSSError:
+                pass  # no live member left; data stays until restore
 
     def _backfill(self, svc: Service) -> None:
         """Refill a service below min_nodes from the cheapest donor."""

@@ -11,7 +11,10 @@ divergence from each protocol's contract:
   (atomic snapshots, serialized puts, version monotonicity, DELTA and
   TEMPORAL staleness bounds, lost updates);
 * :class:`CacheOracle` — cooperative-cache hits serve the committed
-  content from a store that really held it, with exact accounting.
+  content from a store that really held it, with exact accounting;
+* :class:`TxnOracle` — committed multi-key transactions form a
+  serializable history (acyclic dependency graph, no lost updates,
+  dirty reads, or torn installs).
 
 On a violation, :func:`shrink` reduces the trace to a small reproducer
 (truncate → scope filter → verified prefix bisection).  Packaged check
@@ -26,6 +29,7 @@ from .locks import LockOracle
 from .ddss import DDSSOracle
 from .cache import CacheOracle
 from .ha import HAOracle
+from .txn import TxnOracle
 from .shrink import shrink
 from .suites import (ALL_ORACLES, CHECKS, canonical_trace_sha,
                      check_scenario, check_trace, run_check, run_suite)
@@ -41,6 +45,7 @@ __all__ = [
     "DDSSOracle",
     "CacheOracle",
     "HAOracle",
+    "TxnOracle",
     "shrink",
     "ALL_ORACLES",
     "CHECKS",

@@ -27,6 +27,7 @@ from .ha import HAOracle
 from .locks import LockOracle
 from .shrink import shrink as _shrink
 from .trace import TraceView, replay
+from .txn import TxnOracle
 
 __all__ = ["CHECKS", "ALL_ORACLES", "run_check", "run_suite",
            "check_scenario", "check_trace", "canonical_trace_sha"]
@@ -34,7 +35,7 @@ __all__ = ["CHECKS", "ALL_ORACLES", "run_check", "run_suite",
 #: every oracle; each consumes only the event prefixes it declares, so
 #: running all of them over any trace is safe and catches cross-talk.
 ALL_ORACLES: Sequence[Callable] = (LockOracle, DDSSOracle, CacheOracle,
-                                   HAOracle)
+                                   HAOracle, TxnOracle)
 
 
 @contextmanager
@@ -228,6 +229,17 @@ def _cache_check(scheme_name: str):
     return fn
 
 
+def _txn_check(variant: str):
+    """Contended multi-key transactions (OCC / 2PL / a mix of both) over
+    the TPC-C-like transfer + new-order workload."""
+    def fn(seed: int, n_nodes: int):
+        from ..txn.scenarios import build_txn_scenario
+        return build_txn_scenario(variant, seed, n_nodes, n_keys=4,
+                                  n_workers=6, txns_per_worker=4)[0]
+    fn.__name__ = f"_txn_{variant}"
+    return fn
+
+
 #: name -> (builder, default n_nodes, primary oracle NAME)
 CHECKS: Dict[str, tuple] = {
     "ncosed": (_ncosed, 6, "locks"),
@@ -239,6 +251,9 @@ CHECKS: Dict[str, tuple] = {
     "cache-ccwr": (_cache_check("CCWR"), 5, "cache"),
     "cache-mtacc": (_cache_check("MTACC"), 5, "cache"),
     "cache-hybcc": (_cache_check("HYBCC"), 5, "cache"),
+    "txn-occ": (_txn_check("occ"), 4, "txn"),
+    "txn-2pl": (_txn_check("2pl"), 4, "txn"),
+    "txn-mixed": (_txn_check("mixed"), 4, "txn"),
 }
 
 

@@ -1,0 +1,332 @@
+"""Serializability oracle for multi-key transaction traces.
+
+Replays ``txn.*`` events (:mod:`repro.txn`) and checks that the
+committed transactions form a serializable history:
+
+* **Commit-order dependency graph** — nodes are committed (and wedged)
+  transactions; edges are write-read (installer → reader of that
+  version), write-write (installer → installer of a later version of
+  the same key), and read-write anti-dependencies (reader → installer
+  of the next version).  A cycle means no serial order explains the
+  observed reads and installs.
+* **Lost update** — two effective transactions installed the same
+  ``(key, version)``: both validated against the same snapshot and both
+  published, i.e. a CAS claim was skipped or broken.
+* **Dirty read / dirty write** — a committed transaction read a version
+  whose only writers aborted, or an aborted attempt published at all.
+* **Torn install** — a ``txn.commit`` names write-set keys its attempt
+  never installed (the write set was not published atomically), an
+  install version skips its predecessor, or a version word carries the
+  busy bit where a clean value is required.
+* **Torn read** — a read's payload fingerprint differs from every
+  install fingerprint at that ``(key, version)`` (readers must never
+  observe a half-written unit).
+
+Transactions wedged mid-publish (``txn.wedged``) are indeterminate:
+their durable installs are legal to read and participate in the graph,
+but they are exempt from the torn-install check.  Transactions still
+in flight when the trace ends are ignored entirely.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ddss.client import _fingerprint
+from repro.verify.trace import Oracle, TraceEvent
+
+__all__ = ["TxnOracle"]
+
+_INSTALL_BIT = 1 << 63
+
+
+class TxnOracle(Oracle):
+    """Offline serializability checker for ``txn.*`` traces."""
+
+    NAME = "txn"
+    PREFIXES = ("txn.",)
+
+    def __init__(self):
+        super().__init__()
+        self._begin: Dict[int, dict] = {}            # tid -> begin fields
+        # (tid, attempt) -> [(key, version, fp, nbytes, idx, ev)]
+        self._reads = defaultdict(list)
+        # (key, version) -> [(tid, attempt, fp, idx, ev)]
+        self._installs = defaultdict(list)
+        self._installed_by = defaultdict(set)        # (tid, att) -> {key}
+        self._commit: Dict[int, dict] = {}           # tid -> commit info
+        self._aborted: Set[Tuple[int, int]] = set()
+        self._wedged: Dict[int, dict] = {}           # tid -> wedged info
+
+    # -- replay ---------------------------------------------------------
+    def feed(self, idx: int, ev: TraceEvent) -> None:
+        handler = getattr(self, "_on_" + ev.etype.split(".", 1)[1], None)
+        if handler is not None:
+            handler(idx, ev)
+
+    def _on_begin(self, idx: int, ev: TraceEvent) -> None:
+        tid = ev.fields["tid"]
+        if tid in self._begin:
+            self.flag(idx, ev, f"duplicate txn.begin for tid {tid}",
+                      tid=tid)
+        self._begin[tid] = dict(ev.fields)
+
+    def _on_read(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        version = f["version"]
+        if version & _INSTALL_BIT:
+            self.flag(idx, ev,
+                      f"txn {f['tid']} read key {f['key']} with the "
+                      f"install busy bit set (torn read window)",
+                      tid=f["tid"], key=f["key"])
+        self._reads[(f["tid"], f["attempt"])].append(
+            (f["key"], version, f["data"], f["nbytes"], idx, ev))
+
+    def _on_validate(self, idx: int, ev: TraceEvent) -> None:
+        pass  # bookkeeping only; outcomes are judged from installs
+
+    def _on_install(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        tid, attempt, key, version = (f["tid"], f["attempt"], f["key"],
+                                      f["version"])
+        if version & _INSTALL_BIT or version < 1:
+            self.flag(idx, ev,
+                      f"txn {tid} installed key {key} at invalid "
+                      f"version {version}", tid=tid, key=key)
+        if key in self._installed_by[(tid, attempt)]:
+            self.flag(idx, ev,
+                      f"txn {tid} attempt {attempt} installed key "
+                      f"{key} twice", tid=tid, key=key)
+        self._installs[(key, version)].append((tid, attempt, f["data"],
+                                               idx, ev))
+        self._installed_by[(tid, attempt)].add(key)
+
+    def _on_commit(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        tid = f["tid"]
+        if tid in self._commit:
+            self.flag(idx, ev, f"txn {tid} committed twice", tid=tid)
+        if (tid, f["attempt"]) in self._aborted:
+            self.flag(idx, ev,
+                      f"txn {tid} committed an attempt that already "
+                      f"aborted", tid=tid)
+        self._commit[tid] = {"attempt": f["attempt"],
+                             "keys": list(f["keys"]), "idx": idx,
+                             "ev": ev}
+
+    def _on_abort(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        tid = f["tid"]
+        info = self._commit.get(tid)
+        if info is not None and info["attempt"] == f["attempt"]:
+            self.flag(idx, ev,
+                      f"txn {tid} aborted an attempt that already "
+                      f"committed", tid=tid)
+        self._aborted.add((tid, f["attempt"]))
+
+    def _on_wedged(self, idx: int, ev: TraceEvent) -> None:
+        f = ev.fields
+        self._wedged[f["tid"]] = {"attempt": f["attempt"],
+                                  "installed": list(f["installed"]),
+                                  "keys": list(f["keys"]), "idx": idx,
+                                  "ev": ev}
+
+    # -- end-of-trace checks --------------------------------------------
+    def finish(self) -> None:
+        self._check_writes()
+        self._check_committed()
+        self._check_cycles()
+
+    def _attempt_status(self, tid: int, attempt: int) -> str:
+        info = self._commit.get(tid)
+        if info is not None and info["attempt"] == attempt:
+            return "committed"
+        winfo = self._wedged.get(tid)
+        if winfo is not None and winfo["attempt"] == attempt:
+            return "wedged"
+        if (tid, attempt) in self._aborted:
+            return "aborted"
+        return "pending"
+
+    def _effective_installs(self, key: int, version: int):
+        """Installers of (key, version) whose attempt was not aborted."""
+        return [rec for rec in self._installs.get((key, version), ())
+                if self._attempt_status(rec[0], rec[1]) != "aborted"]
+
+    def _check_writes(self) -> None:
+        # dirty write: an aborted attempt must never have published
+        for (tid, attempt) in sorted(self._aborted):
+            keys = self._installed_by.get((tid, attempt))
+            if keys and self._attempt_status(tid, attempt) == "aborted":
+                self.flag(None, None,
+                          f"dirty write: txn {tid} attempt {attempt} "
+                          f"aborted after publishing keys "
+                          f"{sorted(keys)}", tid=tid)
+        # lost update + version continuity, per key
+        versions_of = defaultdict(set)
+        for (key, version) in self._installs:
+            versions_of[key].add(version)
+        for key in sorted(versions_of):
+            for version in sorted(versions_of[key]):
+                eff = self._effective_installs(key, version)
+                if len(eff) > 1:
+                    tids = sorted({rec[0] for rec in eff})
+                    self.flag(eff[1][3], eff[1][4],
+                              f"lost update: transactions {tids} all "
+                              f"installed key {key} version {version}",
+                              key=key, version=version)
+                if version > 1 and (version - 1) not in versions_of[key]:
+                    rec = self._installs[(key, version)][0]
+                    self.flag(rec[3], rec[4],
+                              f"torn install: key {key} version "
+                              f"{version} installed but version "
+                              f"{version - 1} never was (skipped CAS "
+                              f"claim)", key=key, version=version)
+
+    def _check_committed(self) -> None:
+        for tid in sorted(self._commit):
+            info = self._commit[tid]
+            attempt = info["attempt"]
+            installed = self._installed_by.get((tid, attempt), set())
+            missing = [k for k in info["keys"] if k not in installed]
+            if missing:
+                self.flag(info["idx"], info["ev"],
+                          f"torn install: txn {tid} committed but "
+                          f"never installed write-set keys {missing}",
+                          tid=tid)
+            extra = sorted(installed - set(info["keys"]))
+            if extra:
+                self.flag(info["idx"], info["ev"],
+                          f"txn {tid} installed keys {extra} outside "
+                          f"its committed write set", tid=tid)
+            for (key, version, fp, nbytes, idx, ev) in \
+                    self._reads.get((tid, attempt), ()):
+                self._check_read(tid, key, version, fp, nbytes, idx, ev)
+
+    def _check_read(self, tid: int, key: int, version: int, fp: str,
+                    nbytes: int, idx: int, ev: TraceEvent) -> None:
+        if version == 0:
+            expect = _fingerprint(b"\x00" * nbytes)
+            if fp != expect:
+                self.flag(idx, ev,
+                          f"torn read: txn {tid} read key {key} at "
+                          f"version 0 but the payload is not zeros",
+                          tid=tid, key=key)
+            return
+        installers = self._installs.get((key, version), [])
+        if not installers:
+            self.flag(idx, ev,
+                      f"torn read: txn {tid} read key {key} version "
+                      f"{version} that no transaction installed",
+                      tid=tid, key=key, version=version)
+            return
+        statuses = {self._attempt_status(t, a)
+                    for (t, a, _fp, _i, _e) in installers}
+        if statuses == {"aborted"}:
+            writers = sorted({t for (t, a, _fp, _i, _e) in installers})
+            self.flag(idx, ev,
+                      f"dirty read: txn {tid} read key {key} version "
+                      f"{version} written only by aborted "
+                      f"transactions {writers}",
+                      tid=tid, key=key, version=version)
+            return
+        if not any(w_fp == fp for (_t, _a, w_fp, _i, _e) in installers):
+            self.flag(idx, ev,
+                      f"torn read: txn {tid} read key {key} version "
+                      f"{version} with a payload matching no install "
+                      f"of that version", tid=tid, key=key,
+                      version=version)
+
+    # -- serializability graph ------------------------------------------
+    def _check_cycles(self) -> None:
+        nodes = set(self._commit) | set(self._wedged)
+        if not nodes:
+            return
+        edges: Dict[int, Set[int]] = defaultdict(set)
+
+        def installer_tids(key, version):
+            return {rec[0] for rec in
+                    self._effective_installs(key, version)
+                    if rec[0] in nodes}
+
+        # version chains per key (effective installs only)
+        chain: Dict[int, List[int]] = defaultdict(list)
+        for (key, version) in self._installs:
+            if any(rec[0] in nodes for rec in
+                   self._effective_installs(key, version)):
+                chain[key].append(version)
+        for key in chain:
+            chain[key].sort()
+            # ww edges along the chain
+            for lo, hi in zip(chain[key], chain[key][1:]):
+                for a in installer_tids(key, lo):
+                    for b in installer_tids(key, hi):
+                        if a != b:
+                            edges[a].add(b)
+
+        def next_version(key, version):
+            for v in chain.get(key, ()):
+                if v > version:
+                    return v
+            return None
+
+        for tid, info in self._commit.items():
+            for (key, version, _fp, _nb, _idx, _ev) in \
+                    self._reads.get((tid, info["attempt"]), ()):
+                # wr: installer of what we read happens before us
+                for w in installer_tids(key, version):
+                    if w != tid:
+                        edges[w].add(tid)
+                # rw: we happen before the next installer of the key
+                nxt = next_version(key, version)
+                if nxt is not None:
+                    for w in installer_tids(key, nxt):
+                        if w != tid:
+                            edges[tid].add(w)
+
+        cycle = self._find_cycle(nodes, edges)
+        if cycle is not None:
+            self.flag(None, None,
+                      f"serializability violation: dependency cycle "
+                      f"{' -> '.join(str(t) for t in cycle)}",
+                      cycle=list(cycle))
+
+    @staticmethod
+    def _find_cycle(nodes: Set[int],
+                    edges: Dict[int, Set[int]]) -> Optional[List[int]]:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in nodes}
+        parent: Dict[int, Optional[int]] = {}
+        for root in sorted(nodes):
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[int, List[int]]] = [
+                (root, sorted(edges.get(root, ())))]
+            color[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, succ = stack[-1]
+                while succ:
+                    nxt = succ.pop(0)
+                    if nxt not in color:
+                        continue
+                    if color[nxt] == GRAY:
+                        # walk parents back to nxt to report the loop
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle + [cycle[0]]
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append(
+                            (nxt, sorted(edges.get(nxt, ()))))
+                        break
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return None

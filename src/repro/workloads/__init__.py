@@ -5,6 +5,8 @@ experiments)."""
 from repro.workloads.filesets import FileSet
 from repro.workloads.rubis import RubisMix, RubisTxn
 from repro.workloads.threads import ThreadChurn
+from repro.workloads.tpcc import (TpccMix, balance, new_order_txn,
+                                  pack_balance, transfer_txn)
 from repro.workloads.traces import OpenLoopClients, RequestTrace, TracedRequest
 from repro.workloads.zipf import ZipfGenerator, zipf_pmf
 
@@ -15,7 +17,12 @@ __all__ = [
     "OpenLoopClients",
     "RequestTrace",
     "ThreadChurn",
+    "TpccMix",
     "TracedRequest",
     "ZipfGenerator",
+    "balance",
+    "new_order_txn",
+    "pack_balance",
+    "transfer_txn",
     "zipf_pmf",
 ]

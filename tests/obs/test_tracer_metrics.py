@@ -84,7 +84,8 @@ class TestTaxonomy:
         # every dotted type's first segment groups a subsystem
         roots = {e.split(".")[0] for e in TAXONOMY}
         assert roots == {"verb", "msg", "rpc", "lock", "flow", "cache",
-                         "ddss", "reconfig", "fault", "detect", "ha"}
+                         "ddss", "reconfig", "fault", "detect", "ha",
+                         "txn"}
 
 
 class TestCounterGauge:

@@ -1,0 +1,49 @@
+"""The `repro txn` CLI surface: run verdicts and the contention bench."""
+
+import json
+
+from repro.cli import main
+
+
+class TestTxnRun:
+    def test_run_prints_verdict_and_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "verdict-txn.json"
+        assert main(["txn", "run", "--variant", "occ",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict=ok" in out
+        assert "conserved=True" in out
+        doc = json.loads(path.read_text())
+        assert doc["verdict"] == "ok"
+        assert doc["sanitizers"] == []
+        assert doc["oracles"]["txn"]["checked"] > 0
+        assert doc["stats"]["conserved"] is True
+
+    def test_run_slow_kernel_2pl(self, capsys):
+        assert main(["txn", "run", "--variant", "2pl",
+                     "--kernel", "slow"]) == 0
+        assert "verdict=ok" in capsys.readouterr().out
+
+    def test_check_list_includes_txn_scenarios(self, capsys):
+        assert main(["check", "list"]) == 0
+        names = capsys.readouterr().out.split()
+        assert {"txn-occ", "txn-2pl", "txn-mixed"} <= set(names)
+
+
+class TestTxnBench:
+    def test_bench_writes_deterministic_doc(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["txn", "bench", "--out", str(a)]) == 0
+        assert main(["txn", "bench", "--out", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+        doc = json.loads(a.read_text())
+        assert doc["verdict"] == "ok"
+        assert doc["sweep"] == "txn"
+        assert len(doc["records"]) == 6  # {occ,2pl} x {2,8,32} keys
+        assert all(r["result"]["conserved"] for r in doc["records"])
+        # the physics: OCC aborts fall as the key space spreads
+        occ = {r["params"]["n_keys"]: r["result"]["attempt_aborts"]
+               for r in doc["records"] if r["params"]["variant"] == "occ"}
+        assert occ[2] > occ[32]
+        out = capsys.readouterr().out
+        assert "OCC vs 2PL" in out

@@ -3,17 +3,21 @@ under both kernels, shrinking produces small reproducers, the
 metamorphic sweep agrees across kernels, and the CLI wires it all up."""
 
 import json
+from collections import Counter
 
 import pytest
 
 from repro.cli import main
 from repro.errors import ConfigError
 from repro.obs.events import TraceEvent
+from repro.txn import build_txn_scenario
 from repro.verify import (CHECKS, LockOracle, canonical_trace_sha,
                           check_scenario, check_trace, metamorphic_sweep,
                           run_check, run_suite, shrink)
+from repro.verify.suites import _kernel
 
-FAST_CHECKS = ("ncosed", "dqnl", "srsl", "ddss", "cache-bcc")
+FAST_CHECKS = ("ncosed", "dqnl", "srsl", "ddss", "cache-bcc",
+               "txn-occ", "txn-2pl")
 
 
 class TestPackagedChecks:
@@ -69,6 +73,44 @@ class TestKernelEquivalence:
         doc1 = {"sim_now_us": 2.0, "emitted": 1, "events": [list(a)]}
         doc2 = {"sim_now_us": 2.0, "emitted": 1, "events": [list(b)]}
         assert canonical_trace_sha(doc1) != canonical_trace_sha(doc2)
+
+
+class TestTxnMetamorphic:
+    """Kernel × seed sweep over the transaction scenario: the fast and
+    slow event kernels must produce byte-identical canonical trace
+    exports (same-instant cross-node ties normalized, as everywhere
+    else in the suite) and identical commit/abort tallies."""
+
+    @pytest.mark.parametrize("variant", ["occ", "2pl", "mixed"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_kernels_agree_on_trace_and_outcomes(self, variant, seed):
+        runs = {}
+        for kernel in ("fast", "slow"):
+            with _kernel(kernel):
+                obs, stats = build_txn_scenario(
+                    variant, seed=seed, n_nodes=3, n_keys=3,
+                    n_workers=4, txns_per_worker=3)
+            doc = obs.trace_dict()
+            counts = Counter(e[2] for e in doc["events"])
+            runs[kernel] = {
+                "sha": canonical_trace_sha(doc),
+                "emitted": doc["emitted"],
+                "txn.commit": counts["txn.commit"],
+                "txn.abort": counts["txn.abort"],
+                "commits": stats["commits"],
+                "aborts": stats["aborts"],
+                "conserved": stats["conserved"],
+            }
+        assert runs["fast"] == runs["slow"]
+        assert runs["fast"]["txn.commit"] > 0
+        assert runs["fast"]["conserved"]
+
+    def test_metamorphic_sweep_covers_txn_checks(self):
+        rep = metamorphic_sweep(checks=["txn-occ", "txn-2pl"],
+                                seeds=(0,), node_counts=(0,), workers=0)
+        assert rep["verdict"] == "ok"
+        assert rep["pairs"] == 2
+        assert rep["kernel_mismatches"] == []
 
 
 class TestShrink:
