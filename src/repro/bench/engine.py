@@ -44,6 +44,9 @@ GUARDED_RATES = (
     ("events", "events_per_sec"),
     ("small_verbs", "verbs_per_sec"),
     ("lock_ops", "ops_per_sec"),
+    ("agenda", "uniform_entries_per_sec"),
+    ("agenda", "narrow_band_entries_per_sec"),
+    ("agenda", "burst_entries_per_sec"),
 )
 
 
@@ -129,6 +132,87 @@ def _bench_small_verbs(n_iters: int) -> Dict[str, object]:
     }
 
 
+def _agenda_workload(mix: str, n_entries: int, heap: bool) -> float:
+    """Raw agenda entries/s: ``_schedule_call`` noop chains, no processes.
+
+    Measures the agenda data structure itself (ladder vs binary heap)
+    without generator-resume overhead.  ``mix`` shapes the delay
+    distribution; 4096 outstanding entries in the timed mixes push the
+    ladder past its direct-mode threshold into bucket-window mode.
+    """
+    import random
+
+    from repro.sim import Environment
+
+    prev = os.environ.get("REPRO_HEAP_AGENDA")
+    if heap:
+        os.environ["REPRO_HEAP_AGENDA"] = "1"
+    else:
+        os.environ.pop("REPRO_HEAP_AGENDA", None)
+    try:
+        env = Environment()
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_HEAP_AGENDA", None)
+        else:
+            os.environ["REPRO_HEAP_AGENDA"] = prev
+
+    sched = env._schedule_call
+    rng = random.Random(0xA6E2DA).random
+    fired = [0]
+    left = [n_entries]
+
+    if mix in ("uniform", "narrow_band"):
+        lo, span = (0.0, 1000.0) if mix == "uniform" else (0.5, 1.5)
+
+        def fire():
+            fired[0] += 1
+            left[0] -= 1
+            if left[0] > 0:
+                sched(env._now + lo + rng() * span, fire)
+
+        for _ in range(4096):
+            sched(lo + rng() * span, fire)
+    elif mix == "burst":
+        # 64 completions at one shared instant per round — the
+        # same-instant batch-dispatch shape of the NIC fast verbs.
+        def fire():
+            fired[0] += 1
+            left[0] -= 1
+
+        def round_end():
+            fired[0] += 1
+            left[0] -= 1
+            if left[0] > 0:
+                t = env._now + 5.0
+                for _ in range(63):
+                    sched(t, fire)
+                sched(t, round_end)
+
+        for _ in range(63):
+            sched(5.0, fire)
+        sched(5.0, round_end)
+    else:  # pragma: no cover - caller passes a fixed mix list
+        raise ValueError(f"unknown agenda mix: {mix!r}")
+
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return fired[0] / wall
+
+
+def _bench_agenda(n_entries: int) -> Dict[str, object]:
+    """Agenda microbenchmark: ladder vs heap on three delay mixes."""
+    out: Dict[str, object] = {"n": n_entries}
+    for mix in ("uniform", "narrow_band", "burst"):
+        ladder = _agenda_workload(mix, n_entries, heap=False)
+        heap = _agenda_workload(mix, n_entries, heap=True)
+        out[f"{mix}_entries_per_sec"] = round(ladder, 1)
+        out[f"{mix}_heap_entries_per_sec"] = round(heap, 1)
+        out[f"{mix}_ladder_speedup"] = round(ladder / heap, 2)
+    return out
+
+
 def _bench_lock_ops(n_ops: int) -> Dict[str, object]:
     """N-CoSED exclusive acquire/release pairs per second (4 clients)."""
     from repro.net import Cluster, NetworkParams
@@ -192,7 +276,7 @@ def run_suite(quick: bool = False, workers: int = 0) -> Dict[str, object]:
 
     sweep = Sweep(
         name="engine", scenario="repro.lab.scenarios:engine_bench",
-        grid={"bench": ["events", "small_verbs", "lock_ops",
+        grid={"bench": ["events", "agenda", "small_verbs", "lock_ops",
                         "scenario_ddss"]},
         base={"scale": 1 if quick else 4})
     runner = Runner(sweep, workers=workers)
@@ -210,6 +294,7 @@ def run_suite(quick: bool = False, workers: int = 0) -> Dict[str, object]:
         "python": platform.python_version(),
         "results": {
             "events": results["events"],
+            "agenda": results["agenda"],
             "small_verbs": results["small_verbs"],
             "lock_ops": results["lock_ops"],
             "scenario_ddss": results["scenario_ddss"],

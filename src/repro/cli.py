@@ -346,8 +346,8 @@ def _check_main(args) -> int:
               f"violations={len(rep['violations'])} "
               f"verdict={rep['verdict']}")
         for m in rep["kernel_mismatches"][:5]:
-            print(f"  MISMATCH {m['check']} seed={m['seed']}: "
-                  f"fast {m['fast_sha']} != slow {m['slow_sha']}")
+            shas = " ".join(f"{k}={v}" for k, v in sorted(m["shas"].items()))
+            print(f"  MISMATCH {m['check']} seed={m['seed']}: {shas}")
         for v in rep["violations"][:5]:
             print(f"  VIOLATION {v['check']} [{v['kernel']}] "
                   f"seed={v['seed']}: {v['violations']} finding(s)")
@@ -367,7 +367,7 @@ def _check_main(args) -> int:
             print(f"available: {', '.join(sorted(CHECKS))}",
                   file=sys.stderr)
             return 2
-        kernels = (["fast", "slow"] if args.both_kernels
+        kernels = (["fast", "heap", "slow"] if args.both_kernels
                    else [args.kernel])
         results = [run_check(n, seed=args.seed, kernel=k,
                              shrink=not args.no_shrink)
@@ -667,9 +667,13 @@ def _lab_bench_main(args) -> int:
     print(f"lab bench ({report['runs']} runs, sweep {report['sweep']}, "
           f"{report['cpu_count']} cpus):")
     print(f"  serial   {res['serial_wall_s']:>8.2f} s")
+    speedup = ("skipped" if res["speedup"] is None
+               else f"{res['speedup']:.2f}x")
     print(f"  workers={report['workers']:<2d} "
           f"{res['parallel_wall_s']:>6.2f} s   "
-          f"({res['speedup']:.2f}x)")
+          f"({speedup})")
+    if res.get("speedup_skipped_reason"):
+        print(f"  speedup skipped: {res['speedup_skipped_reason']}")
     print(f"  records identical: {res['records_identical']}   "
           f"tables identical: {res['tables_identical']}")
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -785,6 +789,10 @@ def _bench_main(args) -> int:
     res = report["results"]
     print(f"engine bench ({'quick' if args.quick else 'full'}):")
     print(f"  events       {res['events']['events_per_sec']:>12,.0f} /s")
+    ag = res["agenda"]
+    for mix in ("uniform", "narrow_band", "burst"):
+        print(f"  agenda {mix:<12s} {ag[f'{mix}_entries_per_sec']:>9,.0f} /s "
+              f"({ag[f'{mix}_ladder_speedup']:.2f}x vs REPRO_HEAP_AGENDA)")
     sv = res["small_verbs"]
     print(f"  small verbs  {sv['verbs_per_sec']:>12,.0f} /s   "
           f"({sv['speedup_vs_slow']:.2f}x vs REPRO_SLOW_KERNEL, "
@@ -871,10 +879,11 @@ def main(argv=None) -> int:
                         help="check names (or 'all') for run/meta; "
                              "trace file path(s) for trace")
     checkp.add_argument("--seed", type=int, default=0)
-    checkp.add_argument("--kernel", choices=["fast", "slow"],
+    checkp.add_argument("--kernel", choices=["fast", "heap", "slow"],
                         default="fast")
     checkp.add_argument("--both-kernels", action="store_true",
-                        help="run every check under both event kernels")
+                        help="run every check under all three event "
+                             "kernels (ladder / heap / slow)")
     checkp.add_argument("--no-shrink", action="store_true",
                         help="skip reproducer shrinking on violation")
     checkp.add_argument("--json", metavar="PATH", default=None,
@@ -909,7 +918,7 @@ def main(argv=None) -> int:
                         help="replay/shrink a schedule from this JSON "
                              "file (bare list, run record, or shrink "
                              "report)")
-    chaosp.add_argument("--kernel", choices=["fast", "slow"],
+    chaosp.add_argument("--kernel", choices=["fast", "heap", "slow"],
                         default="fast")
     chaosp.add_argument("--both-kernels", action="store_true",
                         help="run: every schedule under both event "
@@ -934,7 +943,7 @@ def main(argv=None) -> int:
     txnp.add_argument("--n-nodes", type=int, default=4)
     txnp.add_argument("--n-keys", type=int, default=4,
                       help="account/stock pool size (fewer = hotter)")
-    txnp.add_argument("--kernel", choices=["fast", "slow"],
+    txnp.add_argument("--kernel", choices=["fast", "heap", "slow"],
                       default="fast")
     txnp.add_argument("--workers", type=int, default=0,
                       help="bench: lab pool workers (0 = in-process)")

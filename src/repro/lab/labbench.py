@@ -55,18 +55,30 @@ def run_lab_bench(workers: int = 4, sweep_name: str = "bench8",
          if rid in p_lines and s_lines[rid] != p_lines[rid]]
     s_wall = serial["report"]["wall_s"]
     p_wall = parallel["report"]["wall_s"]
+    cpus = os.cpu_count()
+    if cpus is not None and cpus < 2:
+        # A 1-core container cannot demonstrate parallel speedup; a
+        # recorded 1.0 reads as "no benefit" when it really means "not
+        # measurable here".  Skip the number, say why.
+        speedup = None
+        skipped_reason = (f"cpu_count={cpus} < 2: parallel speedup is not "
+                          f"measurable on a single-core runner")
+    else:
+        speedup = round(s_wall / p_wall, 2) if p_wall else None
+        skipped_reason = None
     return {
         "schema": 1,
         "suite": "lab",
         "sweep": sweep_name,
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
         "workers": workers,
         "runs": serial["report"]["total"],
         "results": {
             "serial_wall_s": s_wall,
             "parallel_wall_s": p_wall,
-            "speedup": round(s_wall / p_wall, 2) if p_wall else None,
+            "speedup": speedup,
+            "speedup_skipped_reason": skipped_reason,
             "records_identical": identical,
             "mismatched_run_ids": mismatched,
             "tables_identical": serial["tables"] == parallel["tables"],

@@ -204,6 +204,8 @@ def engine_bench(bench: str, scale: int = 1,
 
     if bench == "events":
         return engine._bench_events(100_000 * scale)
+    if bench == "agenda":
+        return engine._bench_agenda(150_000 * scale)
     if bench == "small_verbs":
         return engine._bench_small_verbs(5_000 * scale)
     if bench == "lock_ops":

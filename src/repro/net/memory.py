@@ -111,6 +111,11 @@ class MemoryManager:
         self._next_addr = self._BASE
         self._next_rkey = 0x1D0C0000 + node_id * 0x10101
         self._regions: Dict[int, MemoryRegion] = {}  # addr -> region
+        #: last region a resolve hit — remote traffic is heavily
+        #: region-local (a lock word, a DDSS directory), so this turns
+        #: the linear protection-table walk into one range check.
+        #: Invalidated on deregister.
+        self._rcache: Optional[MemoryRegion] = None
 
     @property
     def registered_bytes(self) -> int:
@@ -130,42 +135,57 @@ class MemoryManager:
     def deregister(self, region: MemoryRegion) -> None:
         """Revoke a region; later remote accesses fail with ProtectionError."""
         self._regions.pop(region.addr, None)
+        if self._rcache is region:
+            self._rcache = None
 
     # -- remote-access path (what the simulated HCA executes) -------------
     def resolve(self, addr: int, rkey: int, length: int):
         """Protection-table walk: find region containing [addr, addr+len)."""
-        for base, region in self._regions.items():
-            if base <= addr < base + region.length:
-                if region.rkey != rkey:
-                    raise ProtectionError(
-                        f"rkey mismatch on node {self.node_id} addr {addr:#x}")
-                offset = addr - base
-                if offset + length > region.length:
-                    raise BoundsError(
-                        f"remote access [{addr:#x}+{length}] crosses region end")
-                return region, offset
-        raise ProtectionError(
-            f"no registered region at {addr:#x} on node {self.node_id}")
+        region = self._rcache
+        if region is None or not (region.addr <= addr
+                                  < region.addr + region.length):
+            region = None
+            for base, cand in self._regions.items():
+                if base <= addr < base + cand.length:
+                    region = self._rcache = cand
+                    break
+            if region is None:
+                raise ProtectionError(
+                    f"no registered region at {addr:#x} "
+                    f"on node {self.node_id}")
+        if region.rkey != rkey:
+            raise ProtectionError(
+                f"rkey mismatch on node {self.node_id} addr {addr:#x}")
+        offset = addr - region.addr
+        if offset + length > region.length:
+            raise BoundsError(
+                f"remote access [{addr:#x}+{length}] crosses region end")
+        return region, offset
 
+    # The verbs below inline the region byte access (``resolve`` already
+    # bounds-checked the window, so MemoryRegion._check would be
+    # redundant work on the hottest data path).
     def rdma_read(self, addr: int, rkey: int, length: int) -> bytes:
         region, offset = self.resolve(addr, rkey, length)
-        return region.read(offset, length)
+        return bytes(region.buf[offset:offset + length])
 
     def rdma_write(self, addr: int, rkey: int, data: bytes) -> None:
         region, offset = self.resolve(addr, rkey, len(data))
-        region.write(offset, data)
+        region.buf[offset:offset + len(data)] = data
 
     def cas64(self, addr: int, rkey: int, compare: int, swap: int) -> int:
         """Atomic compare-and-swap on a 64-bit word; returns the old value."""
         region, offset = self.resolve(addr, rkey, 8)
-        old = region.read_u64(offset)
+        buf = region.buf
+        old = int.from_bytes(buf[offset:offset + 8], "big")
         if old == (compare & _U64_MASK):
-            region.write_u64(offset, swap)
+            buf[offset:offset + 8] = (swap & _U64_MASK).to_bytes(8, "big")
         return old
 
     def faa64(self, addr: int, rkey: int, add: int) -> int:
         """Atomic fetch-and-add on a 64-bit word; returns the old value."""
         region, offset = self.resolve(addr, rkey, 8)
-        old = region.read_u64(offset)
-        region.write_u64(offset, (old + add) & _U64_MASK)
+        buf = region.buf
+        old = int.from_bytes(buf[offset:offset + 8], "big")
+        buf[offset:offset + 8] = ((old + add) & _U64_MASK).to_bytes(8, "big")
         return old

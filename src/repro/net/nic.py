@@ -21,10 +21,12 @@ reflects the full page while only the meaningful bytes are stored.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
-from repro.errors import ConfigError, FaultError, RdmaError
+from repro.errors import BoundsError, ConfigError, FaultError, RdmaError
 from repro.sim import Environment, Event, Store
+from repro.sim.core import _PENDING
 
 from repro.net.memory import RemoteKey
 
@@ -59,118 +61,12 @@ class Message:
     mid: int = 0
 
 
-class _FastVerb:
-    """One one-sided verb on the fault-free fast path.
-
-    Callback-chain twin of ``NIC._read_proc`` / ``_write_proc`` /
-    ``_atomic_proc``: no generator, no :class:`~repro.sim.Process`, no
-    per-stage Event.  An uncontended verb costs exactly three agenda
-    entries — *posted* (reserve the egress link, schedule the remote
-    service instant), *serve* (touch remote memory, reserve the return
-    link), and the completion event itself, scheduled directly at the
-    response's arrival instant via ``Fabric.fast_send``.  Each instant
-    is computed with the same float association order the generator
-    version's chained Timeouts would produce, so fast and
-    ``REPRO_SLOW_KERNEL=1`` runs stay equivalent.  A contended link
-    drops that leg back onto the generator transfer process
-    (``Fabric.send_process``) without losing the chain.  Only valid
-    when ``env.fastpath`` is on and no fault injector is installed (no
-    failure branches exist then, apart from memory-protection errors
-    which propagate with process-crash semantics).
-    """
-
-    __slots__ = ("nic", "dst", "op", "addr", "rkey", "arg1", "arg2",
-                 "wire", "done")
-
-    def __init__(self, nic: "NIC", dst: int, op: str, addr: int,
-                 rkey: int, arg1, arg2, wire: int):
-        self.nic = nic
-        self.dst = dst
-        self.op = op
-        self.addr = addr
-        self.rkey = rkey
-        self.arg1 = arg1
-        self.arg2 = arg2
-        self.wire = wire
-        env = nic.env
-        self.done = Event(env)
-        env._schedule_call(env._now + nic.params.post_us, self._posted)
-
-    def _posted(self) -> None:
-        nic = self.nic
-        fabric = nic.fabric
-        if self.dst not in fabric._nodes:
-            # Same failure instant and semantics as the slow path, where
-            # Fabric.transfer raises inside the verb process.
-            nic._fail_verb(self.done, ConfigError(
-                f"transfer between unknown nodes "
-                f"{nic.node.id}->{self.dst}"))
-            return
-        p = nic.params
-        op = self.op
-        if op == "write":
-            nbytes = self.wire + p.header_bytes
-        else:
-            nbytes = p.header_bytes
-        t = fabric.fast_send(nic.node.id, self.dst, nbytes)
-        if t < 0.0:
-            fabric.send_process(nic.node.id, self.dst, nbytes,
-                                self._arrived)
-            return
-        # Fold the NIC turnaround / atomic-unit delay into the same
-        # entry: the slow path schedules it from the arrival instant, so
-        # ``t + delay`` is the identical float.
-        if op == "read":
-            t += p.rdma_turnaround_us
-        elif op != "write":  # writes land on arrival; no turnaround
-            t += p.atomic_exec_us
-        nic.env._schedule_call(t, self._serve)
-
-    def _arrived(self) -> None:
-        # Contended-request continuation: apply the turnaround from the
-        # actual arrival instant, exactly like the generator's Timeout.
-        nic = self.nic
-        op = self.op
-        if op == "write":
-            self._serve()
-            return
-        env = nic.env
-        delay = (nic.params.rdma_turnaround_us if op == "read"
-                 else nic.params.atomic_exec_us)
-        env._schedule_call(env._now + delay, self._serve)
-
-    def _serve(self) -> None:
-        nic = self.nic
-        fabric = nic.fabric
-        mem = fabric._nodes[self.dst].memory
-        op = self.op
-        try:
-            if op == "read":
-                value = mem.rdma_read(self.addr, self.rkey, self.arg1)
-            elif op == "write":
-                mem.rdma_write(self.addr, self.rkey, self.arg1)
-                value = None
-            elif op == "cas":
-                value = mem.cas64(self.addr, self.rkey, self.arg1,
-                                  self.arg2)
-            else:
-                value = mem.faa64(self.addr, self.rkey, self.arg1)
-        except BaseException as exc:
-            nic._fail_verb(self.done, exc)
-            return
-        p = nic.params
-        nbytes = (self.wire + p.header_bytes if op == "read"
-                  else p.header_bytes)
-        t = fabric.fast_send(self.dst, nic.node.id, nbytes)
-        if t < 0.0:
-            self.arg2 = value  # carried to _complete
-            fabric.send_process(self.dst, nic.node.id, nbytes,
-                                self._complete)
-            return
-        nic.env._schedule_at(t, self.done, value=value)
-
-    def _complete(self) -> None:
-        self.done.succeed(self.arg2)
+#: fast-verb op codes — int compares on the hot stages instead of
+#: string compares, and compact storage in the slot pool.
+_OP_READ = 0
+_OP_WRITE = 1
+_OP_CAS = 2
+_OP_FAA = 3
 
 
 class NIC:
@@ -189,6 +85,28 @@ class NIC:
         self.rdma_reads = 0
         self.rdma_writes = 0
         self.atomics = 0
+        # -- fast-verb slot pool ---------------------------------------
+        # Hot one-sided verbs keep their state in parallel lists indexed
+        # by an int slot id instead of a per-verb object: no allocation
+        # on the post path beyond the completion Event, and the stage
+        # continuations are per-slot ``functools.partial``s minted once
+        # and recycled with the slot (a bound method would be allocated
+        # at every ``self._stage`` access).  Slots are recycled through
+        # ``_vfree``; a slot is freed at its last array access, before
+        # the completion event is scheduled.
+        self._vfree: list = []
+        self._vdst: list = []
+        self._vop: list = []
+        self._vaddr: list = []
+        self._vrkey: list = []
+        self._va: list = []
+        self._vb: list = []
+        self._vwire: list = []
+        self._vdone: list = []
+        self._vposted: list = []
+        self._varrived: list = []
+        self._vserve: list = []
+        self._vcomplete: list = []
 
     # ------------------------------------------------------------------
     # two-sided channel semantics
@@ -356,8 +274,156 @@ class NIC:
         return 0 if q is None else len(q)
 
     # ------------------------------------------------------------------
-    # one-sided memory semantics
+    # one-sided memory semantics — fast-path slot-pool driver
     # ------------------------------------------------------------------
+    # Callback-chain twin of ``_read_proc`` / ``_write_proc`` /
+    # ``_atomic_proc``: no generator, no Process, no per-stage Event.
+    # An uncontended verb costs exactly three agenda entries — *posted*
+    # (reserve the egress link, schedule the remote service instant),
+    # *serve* (touch remote memory, reserve the return link), and the
+    # completion event itself, scheduled directly at the response's
+    # arrival instant via ``Fabric.fast_send``.  Each instant is
+    # computed with the same float association order the generator
+    # version's chained Timeouts would produce, so fast and
+    # ``REPRO_SLOW_KERNEL=1`` runs stay equivalent.  A contended link
+    # drops that leg back onto the generator transfer process
+    # (``Fabric.send_process``) without losing the chain.  Only valid
+    # when ``env.fastpath`` is on and no fault injector is installed
+    # (no failure branches exist then, apart from memory-protection
+    # errors which propagate with process-crash semantics).
+
+    def _verb_slot(self) -> int:
+        free = self._vfree
+        if free:
+            return free.pop()
+        s = len(self._vdst)
+        self._vdst.append(0)
+        self._vop.append(0)
+        self._vaddr.append(0)
+        self._vrkey.append(0)
+        self._va.append(None)
+        self._vb.append(None)
+        self._vwire.append(0)
+        self._vdone.append(None)
+        self._vposted.append(partial(NIC._verb_posted, self, s))
+        self._varrived.append(partial(NIC._verb_arrived, self, s))
+        self._vserve.append(partial(NIC._verb_serve, self, s))
+        self._vcomplete.append(partial(NIC._verb_complete, self, s))
+        return s
+
+    def _post_verb(self, dst: int, op: int, addr: int, rkey: int,
+                   a, b, wire: int) -> Event:
+        env = self.env
+        # Flattened Event construction (the only allocation left on the
+        # post path) — semantically ``Event(env)``.
+        done = Event.__new__(Event)
+        done.env = env
+        done.callbacks = []
+        done._value = _PENDING
+        done._ok = True
+        s = self._verb_slot()
+        self._vdst[s] = dst
+        self._vop[s] = op
+        self._vaddr[s] = addr
+        self._vrkey[s] = rkey
+        self._va[s] = a
+        self._vb[s] = b
+        self._vwire[s] = wire
+        self._vdone[s] = done
+        env._schedule_call(env._now + self.params.post_us,
+                           self._vposted[s])
+        return done
+
+    def _free_verb(self, s: int) -> Event:
+        """Release slot ``s``; returns its completion event.  Clears the
+        payload/value cells so recycled slots don't pin old objects."""
+        done = self._vdone[s]
+        self._vdone[s] = None
+        self._va[s] = None
+        self._vb[s] = None
+        self._vfree.append(s)
+        return done
+
+    def _verb_posted(self, s: int) -> None:
+        fabric = self.fabric
+        dst = self._vdst[s]
+        if dst not in fabric._nodes:
+            # Same failure instant and semantics as the slow path, where
+            # Fabric.transfer raises inside the verb process.
+            self._fail_verb(self._free_verb(s), ConfigError(
+                f"transfer between unknown nodes "
+                f"{self.node.id}->{dst}"))
+            return
+        p = self.params
+        op = self._vop[s]
+        if op == _OP_WRITE:
+            nbytes = self._vwire[s] + p.header_bytes
+        else:
+            nbytes = p.header_bytes
+        t = fabric.fast_send(self.node.id, dst, nbytes)
+        if t < 0.0:
+            fabric.send_process(self.node.id, dst, nbytes,
+                                self._varrived[s])
+            return
+        # Fold the NIC turnaround / atomic-unit delay into the same
+        # entry: the slow path schedules it from the arrival instant, so
+        # ``t + delay`` is the identical float.
+        if op == _OP_READ:
+            t += p.rdma_turnaround_us
+        elif op != _OP_WRITE:  # writes land on arrival; no turnaround
+            t += p.atomic_exec_us
+        self.env._schedule_call(t, self._vserve[s])
+
+    def _verb_arrived(self, s: int) -> None:
+        # Contended-request continuation: apply the turnaround from the
+        # actual arrival instant, exactly like the generator's Timeout.
+        op = self._vop[s]
+        if op == _OP_WRITE:
+            self._verb_serve(s)
+            return
+        env = self.env
+        delay = (self.params.rdma_turnaround_us if op == _OP_READ
+                 else self.params.atomic_exec_us)
+        env._schedule_call(env._now + delay, self._vserve[s])
+
+    def _verb_serve(self, s: int) -> None:
+        fabric = self.fabric
+        dst = self._vdst[s]
+        mem = fabric._nodes[dst].memory
+        op = self._vop[s]
+        addr = self._vaddr[s]
+        rkey = self._vrkey[s]
+        try:
+            if op == _OP_CAS:
+                value = mem.cas64(addr, rkey, self._va[s], self._vb[s])
+            elif op == _OP_FAA:
+                value = mem.faa64(addr, rkey, self._va[s])
+            elif op == _OP_READ:
+                value = mem.rdma_read(addr, rkey, self._va[s])
+            else:
+                mem.rdma_write(addr, rkey, self._va[s])
+                value = None
+        except BaseException as exc:
+            self._fail_verb(self._free_verb(s), exc)
+            return
+        p = self.params
+        nbytes = (self._vwire[s] + p.header_bytes if op == _OP_READ
+                  else p.header_bytes)
+        t = fabric.fast_send(dst, self.node.id, nbytes)
+        if t < 0.0:
+            self._va[s] = value  # carried to _verb_complete
+            fabric.send_process(dst, self.node.id, nbytes,
+                                self._vcomplete[s])
+            return
+        # Last slot access: free before scheduling the completion (the
+        # event rides the agenda entry, not the slot).
+        done = self._free_verb(s)
+        self.env._schedule_at(t, done, value=value)
+
+    def _verb_complete(self, s: int) -> None:
+        value = self._va[s]
+        self._free_verb(s).succeed(value)
+
     def rdma_read(self, dst_id: int, addr: int, rkey: int, length: int,
                   wire_bytes: Optional[int] = None) -> Event:
         """Read ``length`` bytes of remote memory; value is `bytes`.
@@ -371,8 +437,8 @@ class NIC:
         if wire < length:
             raise ConfigError("wire_bytes smaller than read length")
         if self.env.fastpath and self.fabric.injector is None:
-            ev = _FastVerb(self, dst_id, "read", addr, rkey,
-                           length, None, wire).done
+            ev = self._post_verb(dst_id, _OP_READ, addr, rkey,
+                                 length, None, wire)
         else:
             ev = self.env.process(
                 self._read_proc(dst_id, addr, rkey, length, wire),
@@ -408,8 +474,8 @@ class NIC:
             # Immutable callers (the common case) skip the defensive copy.
             data = bytes(data)
         if self.env.fastpath and self.fabric.injector is None:
-            ev = _FastVerb(self, dst_id, "write", addr, rkey,
-                           data, None, wire).done
+            ev = self._post_verb(dst_id, _OP_WRITE, addr, rkey,
+                                 data, None, wire)
         else:
             ev = self.env.process(
                 self._write_proc(dst_id, addr, rkey, data, wire),
@@ -437,8 +503,8 @@ class NIC:
         self._need_rdma()
         self.atomics += 1
         if self.env.fastpath and self.fabric.injector is None:
-            ev = _FastVerb(self, dst_id, "cas", addr, rkey,
-                           compare, swap, 8).done
+            ev = self._post_verb(dst_id, _OP_CAS, addr, rkey,
+                                 compare, swap, 8)
         else:
             ev = self.env.process(
                 self._atomic_proc(dst_id, addr, rkey, "cas", compare, swap),
@@ -453,8 +519,8 @@ class NIC:
         self._need_rdma()
         self.atomics += 1
         if self.env.fastpath and self.fabric.injector is None:
-            ev = _FastVerb(self, dst_id, "faa", addr, rkey,
-                           add, 0, 8).done
+            ev = self._post_verb(dst_id, _OP_FAA, addr, rkey,
+                                 add, 0, 8)
         else:
             ev = self.env.process(
                 self._atomic_proc(dst_id, addr, rkey, "faa", add, 0),
@@ -490,27 +556,45 @@ class NIC:
         return old
 
     # -- convenience over RemoteKey ----------------------------------------
+    # The bounds checks are ``RemoteKey.slice`` inlined (same error
+    # messages) without minting the intermediate RemoteKey — these
+    # helpers are the hottest call sites in key-addressed workloads.
     def read_key(self, key: RemoteKey, offset: int = 0,
                  length: Optional[int] = None,
                  wire_bytes: Optional[int] = None) -> Event:
-        sub = key.slice(offset, length)
-        return self.rdma_read(sub.node, sub.addr, sub.rkey, sub.length,
-                              wire_bytes=wire_bytes)
+        if offset < 0 or offset > key.length:
+            raise BoundsError(f"slice offset {offset} outside window")
+        if length is None:
+            length = key.length - offset
+        elif length < 0 or offset + length > key.length:
+            raise BoundsError("slice extends past window")
+        return self.rdma_read(key.node, key.addr + offset, key.rkey,
+                              length, wire_bytes=wire_bytes)
 
     def write_key(self, key: RemoteKey, data: bytes, offset: int = 0,
                   wire_bytes: Optional[int] = None) -> Event:
-        sub = key.slice(offset, len(data))
-        return self.rdma_write(sub.node, sub.addr, sub.rkey, data,
-                               wire_bytes=wire_bytes)
+        if offset < 0 or offset > key.length:
+            raise BoundsError(f"slice offset {offset} outside window")
+        if offset + len(data) > key.length:
+            raise BoundsError("slice extends past window")
+        return self.rdma_write(key.node, key.addr + offset, key.rkey,
+                               data, wire_bytes=wire_bytes)
 
     def cas_key(self, key: RemoteKey, offset: int,
                 compare: int, swap: int) -> Event:
-        sub = key.slice(offset, 8)
-        return self.cas(sub.node, sub.addr, sub.rkey, compare, swap)
+        if offset < 0 or offset > key.length:
+            raise BoundsError(f"slice offset {offset} outside window")
+        if offset + 8 > key.length:
+            raise BoundsError("slice extends past window")
+        return self.cas(key.node, key.addr + offset, key.rkey,
+                        compare, swap)
 
     def faa_key(self, key: RemoteKey, offset: int, add: int) -> Event:
-        sub = key.slice(offset, 8)
-        return self.faa(sub.node, sub.addr, sub.rkey, add)
+        if offset < 0 or offset > key.length:
+            raise BoundsError(f"slice offset {offset} outside window")
+        if offset + 8 > key.length:
+            raise BoundsError("slice extends past window")
+        return self.faa(key.node, key.addr + offset, key.rkey, add)
 
     def _need_rdma(self) -> None:
         if not self.params.has_rdma:

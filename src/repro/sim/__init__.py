@@ -33,6 +33,7 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Timeout,
+    heap_agenda_requested,
     slow_kernel_requested,
 )
 from repro.sim.cpu import CPU, CPUJob
@@ -54,6 +55,7 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "heap_agenda_requested",
     "slow_kernel_requested",
     "spawn_child",
 ]

@@ -3,17 +3,18 @@
 The simulator makes two strong determinism claims the oracles alone
 cannot test:
 
-1. **kernel equivalence** — the heap-free fast event kernel and the
-   naive reference kernel must produce *byte-identical* trace exports
-   for the same (check, seed, n_nodes);
+1. **kernel equivalence** — the ladder-agenda fast kernel, the
+   heap-agenda fallback (``REPRO_HEAP_AGENDA=1``) and the naive
+   reference kernel must produce *byte-identical* trace exports for
+   the same (check, seed, n_nodes);
 2. **parameter robustness** — every packaged check must replay clean
    under permuted seeds and node counts, not just the defaults.
 
 This driver expands the (check × kernel × n_nodes × seed) grid through
 :mod:`repro.lab` — reusing its process pool, retry, and resumable
 store — then folds the records: each (check, n_nodes, seed) cell must
-have its fast and slow ``trace_sha`` equal, and every cell must report
-zero violations.
+have one ``trace_sha`` across all three kernels, and every cell must
+report zero violations.
 """
 
 from __future__ import annotations
@@ -50,7 +51,7 @@ def metamorphic_sweep(checks: Optional[Sequence[str]] = None,
         scenario=SCENARIO,
         grid={
             "check": list(names),
-            "kernel": ["fast", "slow"],
+            "kernel": ["fast", "heap", "slow"],
             "n_nodes": [int(n) for n in node_counts],
         },
         seeds=[int(s) for s in seeds],
@@ -60,39 +61,39 @@ def metamorphic_sweep(checks: Optional[Sequence[str]] = None,
                     progress=progress)
     summary = runner.run()
 
-    # fold: pair fast/slow per cell, diff the trace digests
+    # fold: group the kernels per cell, diff the trace digests
     cells: Dict[tuple, Dict[str, dict]] = {}
     for rec in store.records():
         p, res = rec["params"], rec["result"]
         key = (p["check"], p["n_nodes"], rec["seed"])
         cells.setdefault(key, {})[p["kernel"]] = res
 
+    kernels = list(sweep.grid["kernel"])
     mismatches = []
     violations = []
     pairs = 0
     for (check, n_nodes, seed), by_kernel in sorted(cells.items()):
-        fast, slow = by_kernel.get("fast"), by_kernel.get("slow")
         for kern, res in sorted(by_kernel.items()):
             if res["verdict"] != "ok":
                 violations.append({"check": check, "n_nodes": n_nodes,
                                    "seed": seed, "kernel": kern,
                                    "violations": res["violations"]})
-        if fast is None or slow is None:
+        if any(k not in by_kernel for k in kernels):
             continue  # a failed run; already in summary.failures
         pairs += 1
-        if fast["trace_sha"] != slow["trace_sha"]:
+        shas = {k: by_kernel[k]["trace_sha"] for k in kernels}
+        if len(set(shas.values())) != 1:
             mismatches.append({
                 "check": check, "n_nodes": n_nodes, "seed": seed,
-                "fast_sha": fast["trace_sha"],
-                "slow_sha": slow["trace_sha"],
-                "fast_events": fast["events"],
-                "slow_events": slow["events"],
+                "shas": shas,
+                "events": {k: by_kernel[k]["events"] for k in kernels},
             })
 
     ok = (not mismatches and not violations
           and not summary.get("failed", 0))
     return {
         "checks": names,
+        "kernels": kernels,
         "seeds": list(sweep.seeds),
         "node_counts": list(sweep.grid["n_nodes"]),
         "runs": summary.get("completed", 0) + summary.get("skipped", 0),

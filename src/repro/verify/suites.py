@@ -40,21 +40,31 @@ ALL_ORACLES: Sequence[Callable] = (LockOracle, DDSSOracle, CacheOracle,
 
 @contextmanager
 def _kernel(mode: str):
-    """Pin the event-kernel flavour for Environments built inside."""
-    if mode not in ("fast", "slow"):
-        raise ConfigError(f"unknown kernel {mode!r} (fast|slow)")
-    prev = os.environ.get("REPRO_SLOW_KERNEL")
+    """Pin the event-kernel flavour for Environments built inside.
+
+    ``fast`` is the default ladder-agenda kernel, ``heap`` keeps every
+    fast path but swaps the agenda back to the binary heap
+    (``REPRO_HEAP_AGENDA=1``), ``slow`` is the naive reference kernel.
+    """
+    if mode not in ("fast", "heap", "slow"):
+        raise ConfigError(f"unknown kernel {mode!r} (fast|heap|slow)")
+    prev_slow = os.environ.get("REPRO_SLOW_KERNEL")
+    prev_heap = os.environ.get("REPRO_HEAP_AGENDA")
+    os.environ.pop("REPRO_SLOW_KERNEL", None)
+    os.environ.pop("REPRO_HEAP_AGENDA", None)
     if mode == "slow":
         os.environ["REPRO_SLOW_KERNEL"] = "1"
-    else:
-        os.environ.pop("REPRO_SLOW_KERNEL", None)
+    elif mode == "heap":
+        os.environ["REPRO_HEAP_AGENDA"] = "1"
     try:
         yield
     finally:
-        if prev is None:
-            os.environ.pop("REPRO_SLOW_KERNEL", None)
-        else:
-            os.environ["REPRO_SLOW_KERNEL"] = prev
+        for var, prev in (("REPRO_SLOW_KERNEL", prev_slow),
+                          ("REPRO_HEAP_AGENDA", prev_heap)):
+            if prev is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = prev
 
 
 # -- scenario builders ---------------------------------------------------

@@ -13,7 +13,8 @@ import random
 
 import pytest
 
-from repro.sim import Environment, Resource, slow_kernel_requested
+from repro.sim import (Environment, Resource, heap_agenda_requested,
+                       slow_kernel_requested)
 from repro.sim.core import SimulationError
 
 
@@ -80,6 +81,36 @@ def test_slow_kernel_env_flag(monkeypatch):
     monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
     assert slow_kernel_requested()
     assert Environment().fastpath is False
+
+
+def test_heap_agenda_env_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_HEAP_AGENDA", raising=False)
+    monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    assert not heap_agenda_requested()
+    assert Environment()._ladder is True
+    monkeypatch.setenv("REPRO_HEAP_AGENDA", "1")
+    assert heap_agenda_requested()
+    env = Environment()
+    assert env._ladder is False
+    assert env.fastpath is True  # heap kernel keeps every fast path
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_heap_agenda_kernel_matches_ladder(monkeypatch, seed):
+    """Three-way firing identity: ladder == heap-agenda == slow."""
+    logs = []
+    for kernel in ("ladder", "heap", "slow"):
+        monkeypatch.delenv("REPRO_HEAP_AGENDA", raising=False)
+        monkeypatch.setenv("REPRO_SLOW_KERNEL",
+                           "1" if kernel == "slow" else "0")
+        if kernel == "heap":
+            monkeypatch.setenv("REPRO_HEAP_AGENDA", "1")
+        env = Environment()
+        assert env._ladder is (kernel == "ladder")
+        log = []
+        _random_workload(env, seed, log)
+        logs.append((log, env.now))
+    assert logs[0] == logs[1] == logs[2]
 
 
 # ---------------------------------------------------------------------------

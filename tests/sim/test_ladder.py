@@ -1,0 +1,225 @@
+"""Property tests for the ladder-queue agenda (DESIGN.md §14).
+
+The agenda contract is a total order on ``(when, seq)``: entries fire
+in nondecreasing ``when``, ties broken by schedule order.  The ladder
+kernel implements it with a bucketed window over the near future plus
+an overflow heap; these tests drive randomized schedule/pop
+interleavings through all three kernels (ladder / heap / slow) and
+diff the firing order against a reference model that simply sorts the
+scheduled ``(when, seq)`` pairs.
+
+Window mode only engages past ``_HEAPMAX`` outstanding entries (small
+agendas stay on the bare binary heap), so the randomized workloads
+deliberately hold thousands of entries in flight, and the boundary
+tests steer entries to both sides of the live window limit.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.core import _HEAPMAX, _INF, SimulationError
+
+
+def _make_env(monkeypatch, kernel: str) -> Environment:
+    monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    monkeypatch.delenv("REPRO_HEAP_AGENDA", raising=False)
+    if kernel == "slow":
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    elif kernel == "heap":
+        monkeypatch.setenv("REPRO_HEAP_AGENDA", "1")
+    else:
+        assert kernel == "ladder"
+    env = Environment()
+    assert env._ladder is (kernel == "ladder")
+    return env
+
+
+# ---------------------------------------------------------------------------
+# reference-model identity on randomized interleavings
+# ---------------------------------------------------------------------------
+
+def _delay(rng):
+    """A delay mix with ties, narrow bands, bursts and far spikes."""
+    r = rng.random()
+    if r < 0.25:
+        return rng.randrange(8) * 0.5      # coarse grid -> lots of ties
+    if r < 0.55:
+        return 0.5 + rng.random() * 1.5    # narrow band
+    if r < 0.85:
+        return rng.random() * 1000.0       # uniform
+    if r < 0.95:
+        return 0.0                         # same-instant
+    return rng.choice([5_000.0, 100_000.0])  # far-future spike
+
+
+def _scripted_run(env, seed, n_initial, n_total):
+    """Self-rescheduling ``_schedule_call`` workload; returns the fired
+    id sequence and the ``(when, seq, id)`` schedule log."""
+    rng = random.Random(seed)
+    fired = []
+    scheduled = []
+    left = [n_total]
+    next_id = [0]
+
+    def schedule(delay):
+        ident = next_id[0]
+        next_id[0] = ident + 1
+        when = env._now + delay
+        env._schedule_call(when, lambda i=ident: fire(i))
+        # _schedule_call assigns seq = env._seq + 1 and stores it back,
+        # so reading _seq right after the call captures this entry's seq.
+        scheduled.append((when, env._seq, ident))
+
+    def fire(ident):
+        fired.append(ident)
+        left[0] -= 1
+        if left[0] > 0:
+            schedule(_delay(rng))
+            if rng.random() < 0.05:  # occasional burst
+                for _ in range(min(8, left[0])):
+                    schedule(rng.choice([0.0, 2.5, 2.5, 7.0]))
+
+    for _ in range(n_initial):
+        schedule(_delay(rng))
+    env.run()
+    return fired, scheduled
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_pop_order_matches_sorted_reference(monkeypatch, seed):
+    """Ladder firing order == the schedule log sorted by ``(when, seq)``.
+
+    3000 initial entries force window mode (``> _HEAPMAX``); the delay
+    mix spans ties, bands, bursts and overflow-tier spikes.
+    """
+    env = _make_env(monkeypatch, "ladder")
+    fired, scheduled = _scripted_run(env, seed, n_initial=3000,
+                                     n_total=12_000)
+    assert len(fired) >= 12_000
+    expected = [ident for _w, _s, ident in sorted(scheduled)]
+    assert fired == expected
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_kernels_fire_identically(monkeypatch, seed):
+    """ladder == heap == slow on the randomized workload."""
+    runs = {}
+    for kernel in ("ladder", "heap", "slow"):
+        env = _make_env(monkeypatch, kernel)
+        fired, _ = _scripted_run(env, seed, n_initial=2000, n_total=8000)
+        runs[kernel] = (fired, env.now)
+    assert runs["ladder"] == runs["heap"] == runs["slow"]
+
+
+def test_interleaved_step_and_schedule(monkeypatch):
+    """Popping via ``step()`` between schedules preserves the order."""
+    rng = random.Random(42)
+    env = _make_env(monkeypatch, "ladder")
+    fired = []
+    scheduled = []
+    for i in range(4000):
+        when = env._now + _delay(rng)
+        env._schedule_call(when, lambda i=i: fired.append(i))
+        scheduled.append((when, env._seq, i))
+        if i % 3 == 0 and env._pending():
+            env.step()
+    env.run()
+    assert fired == [i for _w, _s, i in sorted(scheduled)]
+
+
+# ---------------------------------------------------------------------------
+# ties and rejection
+# ---------------------------------------------------------------------------
+
+def test_same_instant_ties_fire_fifo(monkeypatch):
+    """Equal ``when`` (exact float ties) fire in schedule order —
+    including a burst wide enough to exercise batch dispatch."""
+    env = _make_env(monkeypatch, "ladder")
+    fired = []
+    # enough backlog for window mode, all at 3 distinct instants
+    for i in range(3 * (_HEAPMAX + 200)):
+        when = float(1 + i % 3)
+        env._schedule_call(when, lambda i=i: fired.append(i))
+    env.run()
+    expected = sorted(range(len(fired)), key=lambda i: (i % 3, i))
+    assert fired == expected
+    assert env.now == 3.0
+
+
+@pytest.mark.parametrize("kernel", ["ladder", "heap", "slow"])
+def test_negative_delay_rejected(monkeypatch, kernel):
+    env = _make_env(monkeypatch, kernel)
+    with pytest.raises(SimulationError, match="negative timeout delay"):
+        env.timeout(-1.0)
+    with pytest.raises(SimulationError, match="negative timeout delay"):
+        env.timeout(-1e-12, value="x")
+
+
+# ---------------------------------------------------------------------------
+# overflow-tier promotion boundaries
+# ---------------------------------------------------------------------------
+
+def _force_window(env):
+    """Push the env into window mode and return the live limit."""
+    rng = random.Random(9)
+    for i in range(_HEAPMAX + 512):
+        env._schedule_call(10.0 + rng.random() * 100.0, lambda: None)
+    # One step makes the kernel notice the backlog and rebase.
+    env.step()
+    assert env._llimit != -_INF, "window mode should be active"
+    return env._llimit
+
+
+def test_window_limit_splits_tiers(monkeypatch):
+    """Pushes land windowed strictly below the limit, overflow at or
+    above it, and both sides still fire in global order."""
+    env = _make_env(monkeypatch, "ladder")
+    limit = _force_window(env)
+    heap_before = len(env._heap)
+    count_before = env._lcount
+    fired = []
+
+    env._schedule_call(limit, lambda: fired.append("at-limit"))
+    assert len(env._heap) == heap_before + 1      # promoted to overflow
+    env._schedule_call(limit * 1.5, lambda: fired.append("far"))
+    assert len(env._heap) == heap_before + 2
+    just_below = limit - 1e-9
+    assert just_below < limit
+    env._schedule_call(just_below, lambda: fired.append("below"))
+    assert env._lcount == count_before + 1        # stayed windowed
+    env.run()
+    assert fired == ["below", "at-limit", "far"]
+    assert env.now == limit * 1.5
+
+
+def test_overflow_promotion_preserves_order(monkeypatch):
+    """Entries that sat in the overflow tier across a rebase fire in
+    exact ``(when, seq)`` order relative to windowed entries."""
+    env = _make_env(monkeypatch, "ladder")
+    rng = random.Random(17)
+    fired = []
+    scheduled = []
+    # Two far-apart dense bands: the first rebase windows band one and
+    # leaves band two in overflow; draining band one forces a second
+    # rebase that promotes band two.
+    for i in range(2 * _HEAPMAX):
+        when = rng.random() * 50.0 if i % 2 else 10_000.0 + rng.random() * 50.0
+        env._schedule_call(when, lambda i=i: fired.append(i))
+        scheduled.append((when, env._seq, i))
+    env.run()
+    assert fired == [i for _w, _s, i in sorted(scheduled)]
+
+
+def test_drained_window_returns_to_direct_mode(monkeypatch):
+    """After the backlog drains the agenda drops back to the bare heap
+    (direct mode) and keeps firing correctly."""
+    env = _make_env(monkeypatch, "ladder")
+    _force_window(env)
+    env.run()
+    assert env._llimit == -_INF and env._lcount == 0
+    fired = []
+    env._schedule_call(env._now + 5.0, lambda: fired.append("tail"))
+    env.run()
+    assert fired == ["tail"]

@@ -52,11 +52,13 @@ class TestPackagedChecks:
 class TestKernelEquivalence:
     @pytest.mark.parametrize("name", FAST_CHECKS)
     def test_canonical_sha_matches_across_kernels(self, name):
+        """Three-way: ladder (fast), heap-agenda fallback, naive slow."""
         fast = check_scenario(check=name, seed=0, kernel="fast")
+        heap = check_scenario(check=name, seed=0, kernel="heap")
         slow = check_scenario(check=name, seed=0, kernel="slow")
-        assert fast["verdict"] == slow["verdict"] == "ok"
-        assert fast["trace_sha"] == slow["trace_sha"]
-        assert fast["events"] == slow["events"]
+        assert fast["verdict"] == heap["verdict"] == slow["verdict"] == "ok"
+        assert fast["trace_sha"] == heap["trace_sha"] == slow["trace_sha"]
+        assert fast["events"] == heap["events"] == slow["events"]
 
     def test_canonical_sha_ignores_same_instant_cross_node_order(self):
         a = TraceEvent(1.0, 0, "cache.miss", {"doc": 1})
@@ -174,7 +176,8 @@ class TestMetamorphic:
         rep = metamorphic_sweep(checks=["ncosed"], seeds=(0,),
                                 node_counts=(0,), workers=0)
         assert rep["verdict"] == "ok"
-        assert rep["runs"] == 2  # fast + slow
+        assert rep["runs"] == 3  # fast + heap + slow
+        assert rep["kernels"] == ["fast", "heap", "slow"]
         assert rep["pairs"] == 1
         assert rep["kernel_mismatches"] == []
         assert rep["violations"] == []
