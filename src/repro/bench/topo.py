@@ -1,0 +1,114 @@
+"""Topology benchmarks + their CI regression gate.
+
+Unlike :mod:`repro.bench.engine` (host wall-clock), these report
+*simulated* figures of merit for the rack/spine fabric, so the numbers
+are fully deterministic for a given seed:
+
+* ``verb_latency``     — one-sided read RTT within a rack vs across the
+                         oversubscribed spine (microseconds, plus the
+                         derived ops/s rates the gate guards).
+* ``lock_throughput``  — N-CoSED acquire/release throughput with every
+                         lock homed on one node vs consistent-hash
+                         sharded across the membership.
+
+``run_topo_suite`` returns a JSON-ready dict; ``repro topo bench``
+writes it to ``BENCH_topo.json`` plus a timestamped copy under
+``benchmarks/results/``, and ``check_topo_regression`` applies the same
+25 % drop rule as the engine gate to the guarded rates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+from .engine import RESULTS_DIR
+
+__all__ = ["run_topo_suite", "check_topo_regression", "write_topo_report",
+           "GUARDED_TOPO_RATES", "DEFAULT_TOPO_RESULT"]
+
+#: canonical result file (repo root) — doubles as the committed baseline
+DEFAULT_TOPO_RESULT = "BENCH_topo.json"
+
+#: ``results.<bench>.<key>`` rates the CI gate guards against regression
+#: (latencies are guarded through their inverted ops/s forms so "lower
+#: rate = regression" holds uniformly)
+GUARDED_TOPO_RATES = (
+    ("verb_latency", "intra_rack_ops_per_s"),
+    ("verb_latency", "cross_rack_ops_per_s"),
+    ("lock_throughput", "single_home_ops_per_s"),
+    ("lock_throughput", "sharded_ops_per_s"),
+)
+
+
+def run_topo_suite(seed: int = 0) -> Dict[str, object]:
+    """Run both topology benchmarks; returns a JSON-ready report."""
+    from ..topo.scenarios import measure_lock_throughput, measure_verb_latency
+
+    verbs = dict(measure_verb_latency(seed=seed))
+    for k in ("intra_rack", "cross_rack"):
+        us = verbs[f"{k}_us"]
+        verbs[f"{k}_ops_per_s"] = round(1e6 / us, 1) if us > 0 else 0.0
+    verbs["cross_over_intra"] = round(
+        verbs["cross_rack_us"] / verbs["intra_rack_us"], 3)
+    locks = dict(measure_lock_throughput(seed=seed))
+    return {
+        "suite": "topo",
+        "seed": seed,
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "results": {"verb_latency": verbs, "lock_throughput": locks},
+    }
+
+
+def check_topo_regression(current: Dict[str, object],
+                          baseline: Optional[Dict[str, object]],
+                          threshold: float = 0.25) -> List[str]:
+    """CI gate: guarded rates must stay within ``threshold`` of baseline.
+
+    Returns human-readable failure lines (empty = pass); a missing or
+    structurally alien baseline skips the gate.
+    """
+    if not isinstance(baseline, dict):
+        return []
+    base_results = baseline.get("results")
+    cur_results = current.get("results", {})
+    if not isinstance(base_results, dict):
+        return []
+    failures = []
+    for bench, key in GUARDED_TOPO_RATES:
+        base = base_results.get(bench, {})
+        cur = cur_results.get(bench, {})
+        if not (isinstance(base, dict) and isinstance(cur, dict)):
+            continue
+        b, c = base.get(key), cur.get(key)
+        if not (isinstance(b, (int, float)) and isinstance(c, (int, float))
+                and b > 0):
+            continue
+        if c < b * (1.0 - threshold):
+            failures.append(
+                f"{bench}.{key}: {c:,.1f}/s is "
+                f"{(1 - c / b) * 100:.1f}% below baseline {b:,.1f}/s "
+                f"(threshold {threshold * 100:.0f}%)")
+    return failures
+
+
+def write_topo_report(report: Dict[str, object], out_path: str,
+                      results_dir: Optional[str] = RESULTS_DIR) -> List[str]:
+    """Write ``out_path`` plus a timestamped archive copy; returns paths."""
+    paths = []
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    paths.append(out_path)
+    if results_dir is not None:
+        os.makedirs(results_dir, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        archive = os.path.join(results_dir, f"topo-{stamp}.json")
+        with open(archive, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths.append(archive)
+    return paths

@@ -776,6 +776,109 @@ def _txn_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# topo subcommand (rack/spine fabric + sharded namespaces)
+# ---------------------------------------------------------------------------
+
+#: packaged topo scenarios for ``repro topo ls`` / ``run``
+_TOPO_SCENARIOS = {
+    "lab": ("repro.topo.scenarios:build_topo_scenario",
+            "100+ nodes / 4 racks / 1M+ RUBiS sessions with a "
+            "rebalance-during-load crash fault"),
+    "shard-check": ("repro.topo.scenarios:shard_check",
+                    "2-rack sharded DDSS + locks with a live ring "
+                    "rebalance (also packaged as `repro check shard`)"),
+}
+
+
+def _topo_main(args) -> int:
+    import json as _json
+
+    from repro.verify import ALL_ORACLES, TraceView, replay
+    from repro.verify.suites import _kernel
+
+    if args.action == "ls":
+        for name in sorted(_TOPO_SCENARIOS):
+            dotted, desc = _TOPO_SCENARIOS[name]
+            print(f"{name:12s} {dotted}")
+            print(f"{'':12s}   {desc}")
+        return 0
+
+    if args.action == "run":
+        from repro.topo.scenarios import build_topo_scenario, shard_check
+
+        with _kernel(args.kernel):
+            if args.scenario == "shard-check":
+                obs = shard_check(args.seed, args.n_nodes)
+                stats = {}
+            else:
+                obs, stats = build_topo_scenario(seed=args.seed)
+        view = TraceView.from_obs(obs).require_complete()
+        oracles = [f() for f in ALL_ORACLES]
+        violations = replay(view, oracles)
+        sanitizers = obs.violations()
+        ok = not violations and not sanitizers
+        print(f"[topo {args.scenario}] seed={args.seed} "
+              f"[{args.kernel}] events={len(view)} "
+              f"sim_now_us={view.meta.get('sim_now_us')}")
+        for k in sorted(stats):
+            print(f"  {k}={stats[k]}")
+        for o in oracles:
+            print(f"  {o.NAME:6s} checked={o.checked:6d} "
+                  f"violations={len(o.violations)}")
+        for v in violations[:5]:
+            print(f"    VIOLATION: {v['msg']}")
+        for s in list(sanitizers)[:5]:
+            print(f"    SANITIZER: {s}")
+        print(f"verdict={'ok' if ok else 'violation'}")
+        if args.json:
+            doc = {"scenario": args.scenario, "seed": args.seed,
+                   "kernel": args.kernel, "stats": stats,
+                   "oracles": {o.NAME: o.to_dict() for o in oracles},
+                   "sanitizers": list(sanitizers),
+                   "verdict": "ok" if ok else "violation"}
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if ok else 1
+
+    # bench: deterministic simulated figures of merit + regression gate
+    from repro.bench.engine import RESULTS_DIR
+    from repro.bench.topo import (check_topo_regression, run_topo_suite,
+                                  write_topo_report)
+
+    report = run_topo_suite(seed=args.seed)
+    res = report["results"]
+    vl, lt = res["verb_latency"], res["lock_throughput"]
+    print(f"topo bench (seed {args.seed}):")
+    print(f"  intra-rack read   {vl['intra_rack_us']:>10.4f} us RTT")
+    print(f"  cross-rack read   {vl['cross_rack_us']:>10.4f} us RTT "
+          f"({vl['cross_over_intra']:.2f}x intra)")
+    print(f"  single-home locks {lt['single_home_ops_per_s']:>10,.1f} /s")
+    print(f"  sharded locks     {lt['sharded_ops_per_s']:>10,.1f} /s "
+          f"({lt['speedup']:.2f}x single-home)")
+    for path in write_topo_report(report, args.out,
+                                  None if args.no_archive
+                                  else RESULTS_DIR):
+        print(f"wrote {path}")
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        except (OSError, ValueError):
+            print(f"no usable baseline at {args.baseline}; "
+                  f"regression gate skipped")
+            return 0
+        failures = check_topo_regression(report, baseline)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("regression gate passed (>25% drop would fail)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # engine benchmark subcommand
 # ---------------------------------------------------------------------------
 
@@ -799,6 +902,17 @@ def _bench_main(args) -> int:
           f"sim clocks {'match' if sv['sim_now_match'] else 'DIVERGE'})")
     print(f"  lock ops     {res['lock_ops']['ops_per_sec']:>12,.0f} /s")
     print(f"  ddss scenario {res['scenario_ddss']['wall_s']:>10.3f} s wall")
+    try:
+        from repro.bench.topo import DEFAULT_TOPO_RESULT, GUARDED_TOPO_RATES
+        with open(DEFAULT_TOPO_RESULT, encoding="utf-8") as fh:
+            topo_res = json.load(fh).get("results", {})
+        print(f"topo (from {DEFAULT_TOPO_RESULT}, simulated):")
+        for bench, key in GUARDED_TOPO_RATES:
+            val = topo_res.get(bench, {}).get(key)
+            if isinstance(val, (int, float)):
+                print(f"  {bench}.{key:<24s} {val:>12,.1f} /s")
+    except (OSError, ValueError):
+        pass  # no committed topo baseline: engine keys only
     if not sv["sim_now_match"]:
         print("FATAL: fast and slow kernels disagree on simulated time",
               file=sys.stderr)
@@ -952,6 +1066,30 @@ def main(argv=None) -> int:
     txnp.add_argument("--out", metavar="PATH", default="BENCH_txn.json",
                       help="bench: result file (default: "
                            "BENCH_txn.json)")
+    topop = sub.add_parser(
+        "topo", help="rack/spine topology + sharded namespaces: run "
+                     "the packaged scale-out scenario under the "
+                     "oracles, or bench the fabric")
+    topop.add_argument("action", choices=["ls", "run", "bench"])
+    topop.add_argument("scenario", nargs="?", default="lab",
+                       choices=sorted(_TOPO_SCENARIOS),
+                       help="scenario for 'run' (default: lab)")
+    topop.add_argument("--seed", type=int, default=0)
+    topop.add_argument("--n-nodes", type=int, default=8,
+                       help="shard-check: cluster size (default 8)")
+    topop.add_argument("--kernel", choices=["fast", "heap", "slow"],
+                       default="fast")
+    topop.add_argument("--json", metavar="PATH", default=None,
+                       help="run: write the verdict JSON here")
+    topop.add_argument("--out", metavar="PATH", default="BENCH_topo.json",
+                       help="bench: result file (default: "
+                            "BENCH_topo.json)")
+    topop.add_argument("--baseline", metavar="PATH", default=None,
+                       help="bench: compare against this baseline and "
+                            "fail on a >25%% rate drop")
+    topop.add_argument("--no-archive", action="store_true",
+                       help="bench: skip the benchmarks/results/ "
+                            "archive copy")
     labp = sub.add_parser(
         "lab", help="parallel experiment sweeps with a resumable "
                     "result store")
@@ -1016,6 +1154,9 @@ def main(argv=None) -> int:
 
     if args.command == "txn":
         return _txn_main(args)
+
+    if args.command == "topo":
+        return _topo_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -61,6 +61,11 @@ def _fingerprint(data: bytes) -> str:
     return "b2:" + hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
+class _TombstoneRead(Exception):
+    """Internal: a snapshot read found the unit's version tombstoned
+    (the unit was rebalanced away); the caller re-resolves and retries."""
+
+
 class DDSSClient:
     """Per-node handle onto the substrate."""
 
@@ -72,6 +77,9 @@ class DDSSClient:
         self._meta_cache: Dict[int, UnitMeta] = {}
         #: local copies for DELTA/TEMPORAL: key -> (version, data, at)
         self._data_cache: Dict[int, Tuple[int, bytes, float]] = {}
+        #: key -> daemon node id that last served a directory op for it
+        #: (goes stale on a shard rebalance; healed by bounce replies)
+        self._dir_cache: Dict[int, int] = {}
         #: distinct nonzero token so lock ownership is attributable;
         #: drawn from the environment (not a process global) so the
         #: value — which reaches the trace — is per-run deterministic
@@ -110,7 +118,8 @@ class DDSSClient:
             raise DDSSError(
                 f"{coherence.name} units cannot be replicated: the lock "
                 f"word lives on a single home")
-        home = self.ddss.pick_home(placement)
+        dir_node, new_key = self.ddss.register_target()
+        home = self.ddss.data_home(new_key, placement)
         rep_homes = self.ddss.replica_homes(home, replicas)
         reply = yield from self._control(home, {"op": "alloc", "size": size})
         copies = []
@@ -120,8 +129,14 @@ class DDSSClient:
         meta = UnitMeta(key=0, home=home, addr=reply["addr"],
                         rkey=reply["rkey"], size=size, coherence=coherence,
                         delta=delta, ttl_us=ttl_us, replicas=tuple(copies))
-        reply = yield from self._control(self.ddss.meta_node.id,
-                                         {"op": "register", "meta": meta})
+        body = {"op": "register", "meta": meta}
+        if new_key is not None:
+            # sharded directory: the key is pre-assigned so the register
+            # can route to its ring owner (and survive a stale map)
+            body["key"] = new_key
+            reply = yield from self._control_dir(new_key, body)
+        else:
+            reply = yield from self._control(dir_node, body)
         meta = reply["meta"]
         self._meta_cache[meta.key] = meta
         obs = self.env.obs
@@ -137,8 +152,8 @@ class DDSSClient:
         return self._proc(self._free(key), "ddss-free")
 
     def _free(self, key):
-        reply = yield from self._control(self.ddss.meta_node.id,
-                                         {"op": "unregister", "key": key})
+        reply = yield from self._control_dir(
+            key, {"op": "unregister", "key": key})
         meta: UnitMeta = reply["meta"]
         yield from self._control(meta.home,
                                  {"op": "free_unit", "addr": meta.addr})
@@ -147,6 +162,7 @@ class DDSSClient:
                                      {"op": "free_unit", "addr": rep_addr})
         self._meta_cache.pop(key, None)
         self._data_cache.pop(key, None)
+        self._dir_cache.pop(key, None)
         return None
 
     def lookup(self, key: int) -> Event:
@@ -156,8 +172,8 @@ class DDSSClient:
     def _lookup(self, key):
         meta = self._meta_cache.get(key)
         if meta is None:
-            reply = yield from self._control(self.ddss.meta_node.id,
-                                             {"op": "lookup", "key": key})
+            reply = yield from self._control_dir(
+                key, {"op": "lookup", "key": key})
             meta = reply["meta"]
             self._meta_cache[key] = meta
         return meta
@@ -191,25 +207,51 @@ class DDSSClient:
 
     def _put_primary(self, meta: UnitMeta, data: bytes):
         """Single-copy put; returns the committed version (None when the
-        model carries no version counter)."""
+        model carries no version counter).
+
+        The version-carrying models detect a rebalance here: a
+        ``TOMBSTONE`` in the version word means the unit moved (live
+        ring rebalance, not just dead-home eviction), so the put
+        re-resolves through the directory and retries at the new home.
+        """
         nic = self.node.nic
         model = meta.coherence
         if model.locks_writes:
-            yield from self._spin_lock(meta)
-            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
-            version = yield from self._bump_version_locked(meta)
-            yield from self._unlock(meta)
-            return version
+            while True:
+                yield from self._spin_lock(meta)
+                yield nic.rdma_write(meta.home, meta.data_addr,
+                                     meta.rkey, data)
+                version = yield from self._read_version(meta)
+                if version == TOMBSTONE:
+                    # moved under us: the write above landed in the
+                    # quarantined block (harmless); redo at the new home
+                    yield from self._unlock(meta)
+                    meta = yield from self._rehome(meta.key)
+                    continue
+                yield nic.rdma_write(
+                    meta.home, meta.addr + VERSION_OFF, meta.rkey,
+                    (version + 1).to_bytes(8, "big"))
+                yield from self._unlock(meta)
+                return version + 1
         if model.versioned:
-            # fetch-and-add orders this write among concurrent writers and
-            # hands us the new version for free
-            old = yield nic.faa(meta.home, meta.addr + VERSION_OFF,
-                                meta.rkey, 1)
-            yield nic.rdma_write(meta.home, meta.data_addr, meta.rkey, data)
-            if model.cacheable:  # DELTA: our own write is the freshest copy
-                self._data_cache[meta.key] = (old + 1, bytes(data),
-                                              self.env.now)
-            return old + 1
+            while True:
+                # fetch-and-add orders this write among concurrent
+                # writers and hands us the new version for free
+                old = yield nic.faa(meta.home, meta.addr + VERSION_OFF,
+                                    meta.rkey, 1)
+                if old == TOMBSTONE:
+                    # the faa wrapped the tombstone to 0: restore the
+                    # marker for other stale clients, then re-resolve
+                    yield nic.cas(meta.home, meta.addr + VERSION_OFF,
+                                  meta.rkey, 0, TOMBSTONE)
+                    meta = yield from self._rehome(meta.key)
+                    continue
+                yield nic.rdma_write(meta.home, meta.data_addr,
+                                     meta.rkey, data)
+                if model.cacheable:  # DELTA: our write is the freshest
+                    self._data_cache[meta.key] = (old + 1, bytes(data),
+                                                  self.env.now)
+                return old + 1
         if model is Coherence.READ:
             # single combined (version, data) write = atomic snapshot
             version = self._next_local_version(meta.key)
@@ -252,20 +294,32 @@ class DDSSClient:
                                     hit=True, age_us=self.env.now - cached[2])
                 return data
 
-        last_exc = None
-        for view in self._views(meta):
-            try:
-                data, version, hit, age_us = yield from self._get_at(view, n)
-            except (RdmaError, FaultError) as exc:
-                self.failovers += 1
-                last_exc = exc
+        while True:
+            last_exc = None
+            moved = False
+            for view in self._views(meta):
+                try:
+                    data, version, hit, age_us = \
+                        yield from self._get_at(view, n)
+                except _TombstoneRead:
+                    # live rebalance moved the unit: re-resolve and
+                    # restart (replicated units are never migrated, so
+                    # there is no other copy worth trying first)
+                    meta = yield from self._rehome(meta.key)
+                    moved = True
+                    break
+                except (RdmaError, FaultError) as exc:
+                    self.failovers += 1
+                    last_exc = exc
+                    continue
+                self._obs_data_done("ddss.get.done", meta, t0, version,
+                                    data, hit=hit, age_us=age_us)
+                return data
+            if moved:
                 continue
-            self._obs_data_done("ddss.get.done", meta, t0, version, data,
-                                hit=hit, age_us=age_us)
-            return data
-        raise DDSSError(
-            f"unit {meta.key}: no reachable copy "
-            f"({1 + len(meta.replicas)} tried)") from last_exc
+            raise DDSSError(
+                f"unit {meta.key}: no reachable copy "
+                f"({1 + len(meta.replicas)} tried)") from last_exc
 
     def _get_at(self, meta: UnitMeta, n: int):
         """One read attempt against one copy (``meta`` homes the copy).
@@ -298,6 +352,8 @@ class DDSSClient:
             blob = yield nic.rdma_read(meta.home, meta.addr + VERSION_OFF,
                                        meta.rkey, 8 + n)
             version = int.from_bytes(blob[:8], "big")
+            if version == TOMBSTONE:
+                raise _TombstoneRead(meta.key)
             data = blob[8:]
             if model.cacheable:
                 self._data_cache[meta.key] = (version, bytes(data),
@@ -576,6 +632,40 @@ class DDSSClient:
             raise DDSSError(msg.payload["error"])
         return msg.payload
 
+    def _control_dir(self, key: int, body: dict):
+        """Directory RPC routed by key, chasing shard-map bounces.
+
+        The daemon for a key comes from the last daemon that served it
+        (cached) or the substrate's routing function.  A daemon that no
+        longer owns the key replies ``{"bounce": epoch, "owner": id}``
+        instead of an error, and we chase the owner hint a bounded
+        number of times — the same shape as the data plane's tombstone
+        chase in :meth:`_rehome`.  On a flat directory nothing ever
+        bounces and this is exactly one :meth:`_control` round trip.
+        """
+        target = self._dir_cache.get(key)
+        if target is None:
+            target = self.ddss.dir_node(key)
+        for _ in range(_MAX_CHASES):
+            reply = yield from self._control(target, body)
+            if "bounce" not in reply:
+                self._dir_cache[key] = target
+                return reply
+            self.stale_retries += 1
+            self._obs_bounce(key, target, reply["owner"], reply["bounce"])
+            target = reply["owner"]
+        raise StaleHomeError(
+            f"directory op for key {key}: still bouncing after "
+            f"{_MAX_CHASES} owner chases")
+
+    def _obs_bounce(self, key: int, frm: int, to: int, ep: int) -> None:
+        obs = self.env.obs
+        if obs is None:
+            return
+        obs.trace.emit("shard.bounce", node=self.node.id, key=key,
+                       frm=frm, to=to, ep=ep)
+        obs.metrics.counter("shard.bounces", node=self.node.id).inc()
+
     def _ipc_hop(self):
         """Cost of reaching the substrate through the node-local IPC."""
         if self.via_ipc:
@@ -610,13 +700,19 @@ class DDSSClient:
             delay = min(delay * mult, cap)
 
     def _unlock(self, meta: UnitMeta):
+        # Emitted at CAS *issue*, not completion: the claimed hold
+        # interval [acquire-completion, release-issue] then sits strictly
+        # inside the physical hold, so disjoint holds stay disjoint in
+        # the trace even when completion notifications reorder (a
+        # cross-rack release ack can arrive after a rack-local
+        # acquire ack under uplink contention).
+        self._obs_lock("ddss.lock.release", meta)
         old = yield self.node.nic.cas(
             meta.home, meta.addr + LOCK_OFF, meta.rkey, self._token, 0)
         if old != self._token:
             raise CoherenceError(
                 f"unlock by non-owner: lock word was {old:#x}, "
                 f"expected {self._token:#x}")
-        self._obs_lock("ddss.lock.release", meta)
 
     # -- observability ---------------------------------------------------
     def _obs_op(self, etype: str, key: int) -> None:

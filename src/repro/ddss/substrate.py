@@ -141,6 +141,34 @@ class DDSS:
         idx = next(self._rr) % len(self.members)
         return self.members[idx].id
 
+    # -- directory routing (overridden by repro.shard.ShardedDDSS) -----
+    def dir_node(self, key: int) -> int:
+        """Node id whose daemon serves directory ops for ``key``."""
+        return self.meta_node.id
+
+    def register_target(self) -> Tuple[int, Optional[int]]:
+        """``(daemon node id, pre-assigned key)`` for a register.
+
+        The flat directory assigns keys at the metadata daemon, so the
+        key is ``None`` here; a sharded directory must pre-assign it to
+        know which shard owns the registration.
+        """
+        return self.meta_node.id, None
+
+    def data_home(self, key: Optional[int],
+                  placement: Optional[int]) -> int:
+        """Home segment for a new unit (``key`` known when
+        pre-assigned)."""
+        return self.pick_home(placement)
+
+    def _dir_reject(self, node: Node, op: str,
+                    key: Optional[int]) -> Optional[dict]:
+        """Reply payload when ``node``'s daemon must not serve this
+        directory op, else None."""
+        if node is not self.meta_node:
+            return {"error": f"{op} sent to non-metadata node"}
+        return None
+
     def replica_homes(self, primary: int, n: int) -> Tuple[int, ...]:
         """``n`` distinct member nodes after ``primary``, in ring order."""
         ids = [m.id for m in self.members]
@@ -182,6 +210,11 @@ class DDSS:
             old_seg.read(old_off + VERSION_OFF, 8), "big")
         if word & INSTALL_BIT:
             raise DDSSError(f"unit {key} has an install in flight")
+        lock = int.from_bytes(old_seg.read(old_off + LOCK_OFF, 8), "big")
+        if lock:
+            # moving a held lock would strand the copy locked forever
+            # (the holder releases at the address it locked)
+            raise DDSSError(f"unit {key} is locked by {lock}")
         nbytes = HEADER_BYTES + meta.size
         blob = old_seg.read(old_off, nbytes)
         new_off = self._allocators[new_home].alloc(nbytes)
@@ -266,24 +299,30 @@ class DDSS:
         return {"ok": True}
 
     def _do_register(self, node: Node, body: dict) -> dict:
-        if node is not self.meta_node:
-            return {"error": "register sent to non-metadata node"}
+        key = body.get("key")
+        reject = self._dir_reject(node, "register", key)
+        if reject is not None:
+            return reject
         meta: UnitMeta = body["meta"]
-        meta = replace(meta, key=next(self._next_key))
+        meta = replace(meta,
+                       key=key if key is not None
+                       else next(self._next_key))
         self._directory[meta.key] = meta
         return {"meta": meta}
 
     def _do_lookup(self, node: Node, body: dict) -> dict:
-        if node is not self.meta_node:
-            return {"error": "lookup sent to non-metadata node"}
+        reject = self._dir_reject(node, "lookup", body["key"])
+        if reject is not None:
+            return reject
         meta = self._directory.get(body["key"])
         if meta is None:
             return {"error": f"unknown key {body['key']}"}
         return {"meta": meta}
 
     def _do_unregister(self, node: Node, body: dict) -> dict:
-        if node is not self.meta_node:
-            return {"error": "unregister sent to non-metadata node"}
+        reject = self._dir_reject(node, "unregister", body["key"])
+        if reject is not None:
+            return reject
         meta = self._directory.pop(body["key"], None)
         if meta is None:
             return {"error": f"unknown key {body['key']}"}

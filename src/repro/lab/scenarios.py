@@ -24,9 +24,9 @@ from .spec import Sweep
 __all__ = ["SWEEPS", "packaged_sweep",
            "hybcc_threshold", "monitor_period", "lock_backoff",
            "lock_cascade", "obs_export", "dc_tps", "engine_bench",
-           "smoke", "txn_point", "fold_by_param", "fold_hybcc",
-           "fold_period", "fold_backoff", "fold_dc", "fold_obs",
-           "fold_txn"]
+           "smoke", "txn_point", "topo_point", "fold_by_param",
+           "fold_hybcc", "fold_period", "fold_backoff", "fold_dc",
+           "fold_obs", "fold_txn", "fold_topo"]
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +173,14 @@ def txn_point(variant: str = "occ", n_keys: int = 8,
     }
 
 
+def topo_point(racks: int = 2, oversub: float = 1.0,
+               seed: int = 0) -> Dict[str, Any]:
+    """One (racks × oversub) cell of the 16-node topology lab sweep."""
+    from ..topo.scenarios import topo_lab
+
+    return topo_lab(racks=racks, oversub=oversub, seed=seed)
+
+
 def smoke(x: int = 1, seed: int = 0) -> Dict[str, Any]:
     """Tiny deterministic scenario for tests and CI smoke sweeps."""
     from ..sim import Environment, RngStreams
@@ -302,6 +310,21 @@ def fold_txn(records: List[Dict[str, Any]]) -> List[BenchTable]:
     return [table]
 
 
+def fold_topo(records: List[Dict[str, Any]]) -> List[BenchTable]:
+    table = BenchTable(
+        "rack/spine topology: completion time vs oversubscription",
+        ["racks", "oversub", "seed", "sim_now_us", "xrack_transfers",
+         "xrack_bytes"],
+        paper_ref="§2 data-center fabric: oversubscribed ToR uplinks "
+                  "stretch cross-rack transfers")
+    for r in _sorted_records(records, "racks", "oversub"):
+        table.add(r["params"]["racks"], r["params"]["oversub"],
+                  r["seed"], r["result"]["sim_now_us"],
+                  r["result"]["xrack_transfers"],
+                  r["result"]["xrack_bytes"])
+    return [table]
+
+
 def fold_obs(records: List[Dict[str, Any]]) -> List[BenchTable]:
     table = BenchTable("obs scenario sweep",
                        ["scenario", "seed", "sim_now_us", "events",
@@ -364,6 +387,13 @@ def _txn() -> Sweep:
                  seeds=(0,), fold=f"{_HERE}:fold_txn")
 
 
+def _topo16() -> Sweep:
+    """Bounded 16-node topology grid: rack count × oversubscription."""
+    return Sweep(name="topo16", scenario=f"{_HERE}:topo_point",
+                 grid={"racks": [2, 4], "oversub": [1.0, 4.0]},
+                 seeds=(0,), fold=f"{_HERE}:fold_topo")
+
+
 def _smoke8() -> Sweep:
     """8 fast runs — CI wiring checks, not performance."""
     return Sweep(name="smoke8", scenario=f"{_HERE}:smoke",
@@ -386,6 +416,7 @@ SWEEPS: Dict[str, Callable[[], Sweep]] = {
     "smoke8": _smoke8,
     "engine": _engine,
     "txn": _txn,
+    "topo16": _topo16,
 }
 
 

@@ -40,6 +40,8 @@ class Cluster:
             if n_nodes <= 0:
                 raise ConfigError("need n_nodes > 0 or explicit names")
             names = [f"node{i}" for i in range(n_nodes)]
+        elif not names:
+            raise ConfigError("need n_nodes > 0 or explicit names")
         elif n_nodes and n_nodes != len(names):
             raise ConfigError("n_nodes inconsistent with names")
         self.params = params or NetworkParams.infiniband()
@@ -48,11 +50,16 @@ class Cluster:
         # components that only see the Environment (e.g. RPC backoff
         # jitter) draw from the same seeded streams via this handle
         self.env.rng = self.rng
-        self.fabric = Fabric(self.env, self.params)
+        self.fabric = self._make_fabric()
         self.nodes: List[Node] = [
             Node(self.env, i, self.fabric, name=name, cores=cores_per_node)
             for i, name in enumerate(names)
         ]
+
+    def _make_fabric(self) -> Fabric:
+        """Fabric construction hook; :class:`repro.topo.TopoCluster`
+        overrides this to install a rack/spine fabric instead."""
+        return Fabric(self.env, self.params)
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -193,6 +193,9 @@ class ReconfigManager:
             self.evictions.append((self.env.now, node_id, svc.name,
                                    "restore"))
             self._obs_transition("reconfig.restore", node_id, svc.name)
+        if self.ddss is not None and hasattr(self.ddss, "ring_restore"):
+            # sharded directory: re-admit the member to the hash ring
+            self.ddss.ring_restore(node_id)
 
     def _obs_transition(self, etype: str, node_id: int,
                         service: str) -> None:

@@ -1,0 +1,19 @@
+"""Rack/spine datacenter topology layered on the flat fabric.
+
+The paper's testbed is a handful of nodes on one InfiniBand switch; the
+roadmap's north star is a simulated datacenter.  :class:`TopoCluster`
+builds racks of hosts behind top-of-rack uplinks into a spine layer,
+with an **oversubscription ratio** making cross-rack bandwidth a scarce,
+contended quantity and an extra spine hop adding cross-rack latency —
+while a single rack at 1:1 oversubscription stays byte-identical to the
+flat :class:`repro.net.Cluster` (every transfer takes the exact same
+code path).
+
+Pairs with :mod:`repro.shard`, which spreads the N-CoSED lock namespace
+and the DDSS directory across the topology's home nodes.
+"""
+
+from repro.topo.cluster import TopoCluster
+from repro.topo.fabric import TopoFabric
+
+__all__ = ["TopoCluster", "TopoFabric"]

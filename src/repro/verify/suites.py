@@ -239,6 +239,14 @@ def _cache_check(scheme_name: str):
     return fn
 
 
+def _shard(seed: int, n_nodes: int):
+    """Sharded DDSS + sharded N-CoSED on a two-rack topology with a
+    live ring rebalance (migrate off / restore) under client load:
+    exercises directory bounces, tombstone re-resolution, and rehoming."""
+    from ..topo.scenarios import shard_check
+    return shard_check(seed, n_nodes)
+
+
 def _txn_check(variant: str):
     """Contended multi-key transactions (OCC / 2PL / a mix of both) over
     the TPC-C-like transfer + new-order workload."""
@@ -264,6 +272,7 @@ CHECKS: Dict[str, tuple] = {
     "txn-occ": (_txn_check("occ"), 4, "txn"),
     "txn-2pl": (_txn_check("2pl"), 4, "txn"),
     "txn-mixed": (_txn_check("mixed"), 4, "txn"),
+    "shard": (_shard, 8, "locks"),
 }
 
 

@@ -85,7 +85,7 @@ class TestTaxonomy:
         roots = {e.split(".")[0] for e in TAXONOMY}
         assert roots == {"verb", "msg", "rpc", "lock", "flow", "cache",
                          "ddss", "reconfig", "fault", "detect", "ha",
-                         "txn"}
+                         "txn", "topo", "shard"}
 
 
 class TestCounterGauge:

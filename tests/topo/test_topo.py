@@ -1,0 +1,133 @@
+"""Rack/spine topology: construction, latency, contention, identity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import Cluster
+from repro.topo import TopoCluster
+from repro.topo.scenarios import measure_verb_latency, topo_lab
+
+
+class TestConstruction:
+    def test_empty_names_list_raises(self):
+        with pytest.raises(ConfigError):
+            Cluster(names=[])
+
+    def test_bad_grid_raises(self):
+        with pytest.raises(ConfigError):
+            TopoCluster(racks=0, hosts_per_rack=4)
+        with pytest.raises(ConfigError):
+            TopoCluster(racks=2, hosts_per_rack=0)
+        with pytest.raises(ConfigError):
+            TopoCluster(racks=2, hosts_per_rack=2, oversub=0.5)
+        with pytest.raises(ConfigError):
+            TopoCluster(racks=2, hosts_per_rack=2, spines=0)
+        with pytest.raises(ConfigError):
+            TopoCluster(racks=2, hosts_per_rack=2,
+                        spine_latency_us=-1.0)
+
+    def test_rack_major_node_layout(self):
+        cl = TopoCluster(racks=3, hosts_per_rack=4)
+        assert len(cl.nodes) == 12
+        assert cl.rack_of(0) == 0 and cl.rack_of(4) == 1
+        assert [n.id for n in cl.rack_nodes(2)] == [8, 9, 10, 11]
+        with pytest.raises(ConfigError):
+            cl.rack_nodes(3)
+
+    def test_uplink_bandwidth_scales_with_oversub(self):
+        flat = TopoCluster(racks=2, hosts_per_rack=8, oversub=1.0)
+        thin = TopoCluster(racks=2, hosts_per_rack=8, oversub=4.0)
+        assert thin.fabric.uplink_bpus == pytest.approx(
+            flat.fabric.uplink_bpus / 4.0)
+
+
+class TestLatency:
+    def test_cross_rack_slower_than_intra(self):
+        r = measure_verb_latency(seed=0)
+        assert r["cross_rack_us"] > r["intra_rack_us"]
+
+    def test_spine_latency_raises_cross_rack_only(self):
+        base = measure_verb_latency(seed=0)
+        far = measure_verb_latency(seed=0, oversub=1.0)
+        assert far["intra_rack_us"] == base["intra_rack_us"]
+
+
+class TestContention:
+    def test_oversubscription_stretches_completion(self):
+        fat = topo_lab(racks=2, oversub=1.0, seed=0)
+        thin = topo_lab(racks=2, oversub=4.0, seed=0)
+        assert thin["sim_now_us"] > fat["sim_now_us"]
+        # same offered cross-rack load either way
+        assert thin["xrack_bytes"] == fat["xrack_bytes"]
+        assert thin["xrack_transfers"] == fat["xrack_transfers"]
+
+    def test_xrack_counters_and_trace_events(self):
+        cl = TopoCluster(racks=2, hosts_per_rack=2, oversub=2.0)
+        obs = cl.observe()
+        env = cl.env
+
+        def blast():
+            yield cl.fabric.transfer(0, 2, 4096)  # cross-rack
+            yield cl.fabric.transfer(0, 1, 4096)  # intra-rack
+
+        env.process(blast(), name="blast")
+        env.run()
+        assert cl.fabric.xrack_transfers == 1
+        assert cl.fabric.xrack_bytes == 4096
+        evs = obs.trace.select("topo.xrack")
+        assert len(evs) == 1
+        assert evs[0].fields["srack"] == 0
+        assert evs[0].fields["drack"] == 1
+        assert evs[0].fields["nbytes"] == 4096
+
+
+class TestFlatIdentity:
+    """A single rack at 1:1 oversubscription is byte-identical to the
+    flat cluster, running the full sharded stack on top."""
+
+    @staticmethod
+    def _drive(cluster):
+        from repro.dlm import LockMode
+        from repro.shard import ShardedDDSS, ShardedNCoSEDManager
+        from repro.verify import canonical_trace_sha
+
+        obs = cluster.observe(sanitize=True, strict=False)
+        env = cluster.env
+        nodes = cluster.nodes
+        ddss = ShardedDDSS(cluster, segment_bytes=64 * 1024)
+        mgr = ShardedNCoSEDManager(cluster, n_locks=16)
+        keys = []
+
+        def setup():
+            cli = ddss.client(nodes[0])
+            for i in range(6):
+                k = yield cli.allocate(64)
+                keys.append(k)
+                yield cli.put(k, bytes([i]) * 64)
+
+        env.process(setup(), name="setup")
+        env.run()
+
+        def actor(i):
+            node = nodes[i % len(nodes)]
+            cli = ddss.client(node)
+            h = mgr.client(node)
+            for r in range(2):
+                k = keys[(i + r) % len(keys)]
+                yield h.acquire(k % 16, LockMode.EXCLUSIVE)
+                yield env.timeout(5.0)
+                yield h.release(k % 16)
+                yield cli.put(k, bytes([r]) * 64)
+                _ = yield cli.get(k)
+
+        for i in range(6):
+            env.process(actor(i), name=f"a{i}")
+        env.run()
+        assert obs.clean
+        return canonical_trace_sha(obs.trace_dict())
+
+    def test_single_rack_matches_flat_cluster(self):
+        flat = self._drive(Cluster(n_nodes=6, seed=3))
+        topo = self._drive(TopoCluster(racks=1, hosts_per_rack=6,
+                                       spines=1, oversub=1.0, seed=3))
+        assert flat == topo
