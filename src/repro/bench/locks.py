@@ -1,0 +1,159 @@
+"""Lock-design tournament benchmark + its CI regression gate.
+
+Like :mod:`repro.bench.topo` these are *simulated* figures of merit —
+fully deterministic for a given seed.  ``run_locks_suite`` runs the
+five-design tournament (:func:`repro.dlm.tournament.lock_tournament`)
+at each Zipf-skewed contention level, once more under crash chaos at
+the middle level, and folds the results into a crossover table: which
+design wins (highest grant throughput) at which contention level.
+
+Every cell is replayed through the extended
+:class:`~repro.verify.locks.LockOracle` inside ``lock_tournament`` —
+a cell with any violation raises instead of reporting a number.
+
+``repro locks bench`` writes ``BENCH_locks.json`` plus a timestamped
+copy under ``benchmarks/results/``; ``check_locks_regression`` applies
+the same 25 % drop rule as the engine/topo gates to each scheme's
+throughput at the top contention level.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..dlm.tournament import SCHEMES, lock_tournament
+from .engine import RESULTS_DIR
+
+__all__ = ["run_locks_suite", "check_locks_regression",
+           "write_locks_report", "GUARDED_LOCKS_RATES",
+           "DEFAULT_LOCKS_RESULT", "CONTENTION_LEVELS"]
+
+#: canonical result file (repo root) — doubles as the committed baseline
+DEFAULT_LOCKS_RESULT = "BENCH_locks.json"
+
+#: Zipf-skewed contending-client counts (the contention axis)
+CONTENTION_LEVELS = (64, 256, 1024)
+
+#: Zipf skew for the lock-choice distribution
+DEFAULT_ALPHA = 1.2
+
+#: ``results.rates.<key>`` rates the CI gate guards against regression
+GUARDED_LOCKS_RATES = tuple(
+    ("rates", f"{scheme}_ops_per_s") for scheme in SCHEMES)
+
+#: per-cell stats copied into the report (the full dict stays in the
+#: tournament return value; the report keeps the comparable core)
+_CELL_KEYS = ("grants", "failures", "ops_per_s", "p99_wait_us",
+              "mean_wait_us", "max_wait_us", "jain", "max_chain",
+              "violations", "events", "sim_now_us")
+
+
+def _cell(stats: Dict[str, object]) -> Dict[str, object]:
+    out = {k: stats[k] for k in _CELL_KEYS}
+    out["ops_per_s"] = round(float(stats["ops_per_s"]), 1)
+    for k in ("p99_wait_us", "mean_wait_us", "max_wait_us", "jain"):
+        out[k] = round(float(stats[k]), 3)
+    return out
+
+
+def run_locks_suite(seed: int = 0,
+                    levels: Sequence[int] = CONTENTION_LEVELS,
+                    alpha: float = DEFAULT_ALPHA,
+                    chaos_level: Optional[int] = None
+                    ) -> Dict[str, object]:
+    """Run the full tournament; returns a JSON-ready report.
+
+    ``chaos_level`` picks the client count for the chaos column
+    (default: the middle entry of ``levels``).
+    """
+    levels = tuple(int(n) for n in levels)
+    if not levels:
+        raise ValueError("need at least one contention level")
+    if chaos_level is None:
+        chaos_level = levels[len(levels) // 2]
+    tournament: Dict[str, dict] = {}
+    for n_clients in levels:
+        for scheme in SCHEMES:
+            stats = lock_tournament(scheme, n_clients=n_clients,
+                                    alpha=alpha, chaos="none", seed=seed)
+            tournament[f"{scheme}@{n_clients}"] = _cell(stats)
+    chaos: Dict[str, dict] = {}
+    for scheme in SCHEMES:
+        stats = lock_tournament(scheme, n_clients=int(chaos_level),
+                                alpha=alpha, chaos="crash", seed=seed)
+        chaos[scheme] = _cell(stats)
+    winners = {
+        str(n): max(SCHEMES,
+                    key=lambda s: tournament[f"{s}@{n}"]["ops_per_s"])
+        for n in levels}
+    top = levels[-1]
+    rates = {f"{scheme}_ops_per_s": tournament[f"{scheme}@{top}"]
+             ["ops_per_s"] for scheme in SCHEMES}
+    return {
+        "suite": "locks",
+        "seed": seed,
+        "alpha": alpha,
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "results": {
+            "tournament": tournament,
+            "chaos": chaos,
+            "crossover": {"levels": list(levels), "winners": winners},
+            "rates": rates,
+        },
+    }
+
+
+def check_locks_regression(current: Dict[str, object],
+                           baseline: Optional[Dict[str, object]],
+                           threshold: float = 0.25) -> List[str]:
+    """CI gate: guarded rates must stay within ``threshold`` of baseline.
+
+    Returns human-readable failure lines (empty = pass); a missing or
+    structurally alien baseline skips the gate.
+    """
+    if not isinstance(baseline, dict):
+        return []
+    base_results = baseline.get("results")
+    cur_results = current.get("results", {})
+    if not isinstance(base_results, dict):
+        return []
+    failures = []
+    for bench, key in GUARDED_LOCKS_RATES:
+        base = base_results.get(bench, {})
+        cur = cur_results.get(bench, {})
+        if not (isinstance(base, dict) and isinstance(cur, dict)):
+            continue
+        b, c = base.get(key), cur.get(key)
+        if not (isinstance(b, (int, float)) and isinstance(c, (int, float))
+                and b > 0):
+            continue
+        if c < b * (1.0 - threshold):
+            failures.append(
+                f"{bench}.{key}: {c:,.1f}/s is "
+                f"{(1 - c / b) * 100:.1f}% below baseline {b:,.1f}/s "
+                f"(threshold {threshold * 100:.0f}%)")
+    return failures
+
+
+def write_locks_report(report: Dict[str, object], out_path: str,
+                       results_dir: Optional[str] = RESULTS_DIR
+                       ) -> List[str]:
+    """Write ``out_path`` plus a timestamped archive copy; returns paths."""
+    paths = []
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    paths.append(out_path)
+    if results_dir is not None:
+        os.makedirs(results_dir, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        archive = os.path.join(results_dir, f"locks-{stamp}.json")
+        with open(archive, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths.append(archive)
+    return paths

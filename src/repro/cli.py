@@ -879,6 +879,105 @@ def _topo_main(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lock-arena subcommand
+# ---------------------------------------------------------------------------
+
+#: scheme -> one-line description for ``repro locks ls``
+_LOCK_SCHEMES = {
+    "srsl": "server-based send/recv locking (two-sided baseline)",
+    "dqnl": "distributed queue via one-sided CAS (exclusive only)",
+    "ncosed": "paper's combined shared/exclusive one-sided design",
+    "mcs": "RDMA-MCS queue lock: per-client queue node, epoch-fenced",
+    "alock": "asymmetric cohort lock: local pass-off + tournament word",
+}
+
+
+def _locks_main(args) -> int:
+    import json as _json
+
+    if args.action == "ls":
+        for name, desc in _LOCK_SCHEMES.items():
+            print(f"{name:8s} {desc}")
+        print("chaos modes: none | crash "
+              "(two crashes, lease-fenced schemes reclaim)")
+        return 0
+
+    if args.action == "run":
+        from repro.dlm.tournament import lock_tournament
+        from repro.errors import LockError
+        from repro.verify.suites import _kernel
+
+        try:
+            with _kernel(args.kernel):
+                stats = lock_tournament(args.scheme,
+                                        n_clients=args.clients,
+                                        alpha=args.alpha,
+                                        chaos=args.chaos,
+                                        seed=args.seed)
+        except LockError as exc:
+            print(f"[locks {args.scheme}] {exc}", file=sys.stderr)
+            print("verdict=violation")
+            return 1
+        print(f"[locks {args.scheme}] clients={args.clients} "
+              f"alpha={args.alpha} chaos={args.chaos} seed={args.seed} "
+              f"[{args.kernel}]")
+        for k in ("grants", "failures", "ops_per_s", "mean_wait_us",
+                  "p99_wait_us", "max_wait_us", "jain", "max_chain",
+                  "events", "sim_now_us"):
+            v = stats[k]
+            print(f"  {k}={v:.1f}" if isinstance(v, float)
+                  else f"  {k}={v}")
+        print("verdict=ok (oracle-replayed, 0 violations)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    # bench: the full tournament + crossover table + regression gate
+    from repro.bench.engine import RESULTS_DIR
+    from repro.bench.locks import (check_locks_regression,
+                                   run_locks_suite, write_locks_report)
+
+    levels = args.levels or None
+    kw = {"levels": levels} if levels else {}
+    report = run_locks_suite(seed=args.seed, alpha=args.alpha, **kw)
+    res = report["results"]
+    cross = res["crossover"]
+    print(f"locks bench (seed {args.seed}, alpha {report['alpha']}):")
+    for n in cross["levels"]:
+        row = "  ".join(
+            f"{s}={res['tournament'][f'{s}@{n}']['ops_per_s']:>10,.1f}/s"
+            for s in _LOCK_SCHEMES)
+        print(f"  {n:>5d} clients: {row}")
+        print(f"        winner: {cross['winners'][str(n)]}")
+    chaos_row = "  ".join(
+        f"{s}={res['chaos'][s]['ops_per_s']:>10,.1f}/s"
+        for s in _LOCK_SCHEMES)
+    print(f"  chaos column: {chaos_row}")
+    for path in write_locks_report(report, args.out,
+                                   None if args.no_archive
+                                   else RESULTS_DIR):
+        print(f"wrote {path}")
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        except (OSError, ValueError):
+            print(f"no usable baseline at {args.baseline}; "
+                  f"regression gate skipped")
+            return 0
+        failures = check_locks_regression(report, baseline)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("regression gate passed (>25% drop would fail)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # engine benchmark subcommand
 # ---------------------------------------------------------------------------
 
@@ -1090,6 +1189,40 @@ def main(argv=None) -> int:
     topop.add_argument("--no-archive", action="store_true",
                        help="bench: skip the benchmarks/results/ "
                             "archive copy")
+    locksp = sub.add_parser(
+        "locks", help="lock-design arena: run one oracle-checked "
+                      "tournament cell, or bench the five-design "
+                      "crossover table")
+    locksp.add_argument("action", choices=["ls", "run", "bench"])
+    locksp.add_argument("scheme", nargs="?", default="ncosed",
+                        choices=sorted(_LOCK_SCHEMES),
+                        help="scheme for 'run' (default: ncosed)")
+    locksp.add_argument("--clients", type=int, default=64,
+                        help="run: contending clients (default 64)")
+    locksp.add_argument("--alpha", type=float, default=1.2,
+                        help="Zipf skew of the lock-choice "
+                             "distribution (default 1.2)")
+    locksp.add_argument("--chaos", choices=["none", "crash"],
+                        default="none",
+                        help="run: fault plan (default none)")
+    locksp.add_argument("--seed", type=int, default=0)
+    locksp.add_argument("--kernel", choices=["fast", "heap", "slow"],
+                        default="fast")
+    locksp.add_argument("--json", metavar="PATH", default=None,
+                        help="run: write the stats JSON here")
+    locksp.add_argument("--levels", type=int, nargs="+", default=None,
+                        help="bench: contention levels (default "
+                             "64 256 1024)")
+    locksp.add_argument("--out", metavar="PATH",
+                        default="BENCH_locks.json",
+                        help="bench: result file (default: "
+                             "BENCH_locks.json)")
+    locksp.add_argument("--baseline", metavar="PATH", default=None,
+                        help="bench: compare against this baseline and "
+                             "fail on a >25%% rate drop")
+    locksp.add_argument("--no-archive", action="store_true",
+                        help="bench: skip the benchmarks/results/ "
+                             "archive copy")
     labp = sub.add_parser(
         "lab", help="parallel experiment sweeps with a resumable "
                     "result store")
@@ -1157,6 +1290,9 @@ def main(argv=None) -> int:
 
     if args.command == "topo":
         return _topo_main(args)
+
+    if args.command == "locks":
+        return _locks_main(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

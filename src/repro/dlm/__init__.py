@@ -16,22 +16,36 @@ Three schemes over the same interface:
   requests use CAS, shared requests use fetch-and-add, so concurrent
   shared locks are granted without serialization.
 
+Two arena designs from the follow-on literature (see PAPERS.md) round
+out the lock tournament, both lease/epoch-fenced like N-CoSED:
+
+* :class:`MCSManager` — RDMA-MCS: per-client queue node in registered
+  memory, tail swap via CAS, next-pointer write for hand-off, with
+  crash-of-queue-member recovery via epoch fencing.
+* :class:`ALockManager` — asymmetric cohort lock: cheap local-cohort
+  pass-off up to a budget, Peterson-style tournament word on cohort
+  handover so neither cohort starves.
+
 All managers expose ``client(node)`` returning a
 :class:`~repro.dlm.base.LockClient` with ``acquire(lock_id, mode)`` /
 ``release(lock_id)`` returning simulation events.
 """
 
+from repro.dlm.alock import ALockManager
 from repro.dlm.base import LockClient, LockManagerBase, LockMode
 from repro.dlm.bench import cascade_latency, uncontended_latency
 from repro.dlm.dqnl import DQNLManager
+from repro.dlm.mcs import MCSManager
 from repro.dlm.ncosed import NCoSEDManager
 from repro.dlm.srsl import SRSLManager
 
 __all__ = [
+    "ALockManager",
     "DQNLManager",
     "LockClient",
     "LockManagerBase",
     "LockMode",
+    "MCSManager",
     "NCoSEDManager",
     "SRSLManager",
     "cascade_latency",

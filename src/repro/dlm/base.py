@@ -79,7 +79,9 @@ class LockManagerBase:
 
     # -- safety ledger ----------------------------------------------------
     def _ledger_grant(self, lock_id: int, token: int, mode: LockMode,
-                      ep: Optional[int] = None) -> None:
+                      ep: Optional[int] = None, **extra_fields) -> None:
+        """Record a grant; ``extra_fields`` (e.g. the ALock cohort and
+        hand-off chain position) ride along on the ``lock.grant`` event."""
         held = self.holders.setdefault(lock_id, set())
         if mode is LockMode.EXCLUSIVE and held:
             raise LockError(
@@ -94,6 +96,7 @@ class LockManagerBase:
         extra = {"mode": mode.name}
         if ep is not None:
             extra["ep"] = ep
+        extra.update(extra_fields)
         self._obs_ledger("lock.grant", lock_id, token, **extra)
 
     def _ledger_release(self, lock_id: int, token: int) -> LockMode:
@@ -244,25 +247,27 @@ class LockClient:
         return None
 
     def _obs_enqueue(self, lock_id: int, mode: LockMode,
-                     prev: int = 0, ep: int = 0) -> None:
+                     prev: int = 0, ep: int = 0, **extra) -> None:
         """Trace the instant this requester landed in the wait queue.
 
         ``prev`` is the predecessor read atomically out of the lock
         word (the old tail), so the emitted chain reflects the true
         landing order at the home even when completions arrive at the
-        requesters out of order.
+        requesters out of order.  ``extra`` fields (e.g. the ALock
+        cohort) ride along on the event.
         """
         obs = self.env.obs
         if obs is not None:
             obs.trace.emit("lock.enqueue", node=self.node.id,
                            mgr=self.manager.obs_name, lock=lock_id,
                            token=self.token, mode=mode.name,
-                           prev=prev, ep=ep)
+                           prev=prev, ep=ep, **extra)
 
     # -- ledger shims ----------------------------------------------------
     def _granted(self, lock_id: int, mode: LockMode,
-                 ep: Optional[int] = None) -> None:
-        self.manager._ledger_grant(lock_id, self.token, mode, ep=ep)
+                 ep: Optional[int] = None, **extra) -> None:
+        self.manager._ledger_grant(lock_id, self.token, mode, ep=ep,
+                                   **extra)
 
     def _released(self, lock_id: int) -> LockMode:
         return self.manager._ledger_release(lock_id, self.token)

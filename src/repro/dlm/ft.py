@@ -1,0 +1,394 @@
+"""Shared lease/epoch-fencing machinery for the arena lock designs.
+
+The fault-tolerance story is the one proven out by N-CoSED
+(:mod:`repro.dlm.ncosed`): every home-resident word carries a 16-bit
+epoch (``pack_ft`` layout), a manager-wide reaper wipes a lock to
+``(epoch+1, 0, 0…)`` when its tail/holder/active client is dead or its
+word is residue, grants are revoked Chubby-style, waits are
+lease-bounded with an epoch re-read on expiry, and peer messages carry
+the epoch of the tenure they belong to (stale ones are discarded) with
+bounded re-send plus receiver-side uid dedup.
+
+:class:`EpochFencedManager` / :class:`EpochFencedClient` factor that
+machinery into a reusable base so ALock and RDMA-MCS get crash recovery
+for free; N-CoSED itself keeps its original (byte-identical) code.
+
+Scheme hooks
+------------
+
+Managers implement ``_setup_homes`` plus:
+
+* ``_ft_tails(lock_id)``   — tail tokens currently named by the lock's
+  word(s); an orphaned tail (no holder, no active attempt) is residue.
+* ``_ft_wipe(lock_id, new_ep)`` — rewrite every word of the lock to its
+  empty state under ``new_ep`` (home-local, zero simulated time).
+* ``_ft_extra_reclaim(lock_id)`` — optional extra residue predicate
+  (e.g. ALock's orphaned tournament flags).
+
+Clients implement ``_attempt_acquire(lock_id, mode)`` (a generator
+returning ``(ep, extra)`` where ``extra`` rides on the grant event) and
+``_attempt_release(lock_id, ep)``; the base provides the bounded-retry
+wrapper, revocation handling, epoch-checked waits, reliable peer send,
+and the local-spin signal used to model one-sided hand-off detection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FaultError, LockError, RdmaError
+from repro.net.node import Node
+
+from repro.dlm.base import LockClient, LockManagerBase, LockMode
+from repro.dlm.ncosed import (_EP_MASK, _Stale, _UID_WINDOW, pack_ft,
+                              unpack_ft)
+
+__all__ = ["EpochFencedManager", "EpochFencedClient"]
+
+
+class EpochFencedManager(LockManagerBase):
+    """Home state + reaper shared by the epoch-fenced arena schemes.
+
+    Pass ``lease_us`` for fault-tolerant mode; without it the epoch is
+    pinned at 0, waits are unbounded, and the reaper never runs (the
+    wire protocol is unchanged — non-FT mode is just FT with a frozen
+    epoch).
+    """
+
+    def __init__(self, cluster, n_locks: int = 64,
+                 member_nodes=None, *,
+                 lease_us: Optional[float] = None,
+                 detector=None,
+                 reap_every_us: Optional[float] = None,
+                 max_attempts: int = 12,
+                 attempt_backoff_us: Optional[float] = None,
+                 send_attempts: int = 6,
+                 resend_us: Optional[float] = None):
+        self.ft = lease_us is not None
+        if self.ft and lease_us <= 0:
+            raise LockError("lease_us must be positive")
+        if max_attempts < 1:
+            raise LockError("max_attempts must be >= 1")
+        self.lease_us = lease_us
+        self.detector = detector
+        self.max_attempts = max_attempts
+        if self.ft:
+            self.reap_every_us = reap_every_us or lease_us
+            self.attempt_backoff_us = (attempt_backoff_us
+                                       if attempt_backoff_us is not None
+                                       else lease_us / 2)
+            self.resend_us = (resend_us if resend_us is not None
+                              else lease_us / 4)
+        else:
+            self.reap_every_us = reap_every_us
+            self.attempt_backoff_us = attempt_backoff_us
+            self.resend_us = resend_us
+        self.send_attempts = send_attempts
+        #: lock -> current epoch (mirrored in the words' top 16 bits)
+        self._epochs: Dict[int, int] = {}
+        #: lock -> tokens with an in-flight acquire/release on it (the
+        #: lease records separating a live waiter from residue)
+        self._active: Dict[int, Set[int]] = {}
+        #: (lock, token) -> grant epoch revoked by a reclaim
+        self._revoked: Dict[Tuple[int, int], int] = {}
+        #: lock -> tokens whose protocol obligation could not complete
+        self._suspect: Dict[int, Set[int]] = {}
+        #: (time, lock, new_epoch) for every reclaim, for tests
+        self.reclaims: List[Tuple[float, int, int]] = []
+        super().__init__(cluster, n_locks=n_locks,
+                         member_nodes=member_nodes)
+        if self.ft:
+            self.env.process(self._reap_proc(),
+                             name=f"{self.SCHEME}-reaper")
+
+    # -- scheme hooks ----------------------------------------------------
+    def _ft_tails(self, lock_id: int):
+        raise NotImplementedError
+
+    def _ft_wipe(self, lock_id: int, new_ep: int) -> None:
+        raise NotImplementedError
+
+    def _ft_extra_reclaim(self, lock_id: int) -> bool:
+        return False
+
+    # -- epochs, lease records, reaper ------------------------------------
+    def lock_epoch(self, lock_id: int) -> int:
+        return self._epochs.get(lock_id, 0)
+
+    def _note_active(self, lock_id: int, token: int) -> None:
+        self._active.setdefault(lock_id, set()).add(token)
+
+    def _unnote_active(self, lock_id: int, token: int) -> None:
+        tokens = self._active.get(lock_id)
+        if tokens is not None:
+            tokens.discard(token)
+
+    def _consume_revoked(self, lock_id: int, token: int, ep: int) -> bool:
+        if self._revoked.get((lock_id, token)) == ep:
+            del self._revoked[(lock_id, token)]
+            return True
+        return False
+
+    def _node_dead(self, node_id: int) -> bool:
+        if self.detector is not None:
+            return self.detector.is_dead(node_id)
+        injector = self.cluster.fabric.injector
+        return injector is not None and node_id in injector.down
+
+    def _token_dead(self, token: int) -> bool:
+        client = self.clients.get(token)
+        return client is not None and self._node_dead(client.node.id)
+
+    def _flag_suspect(self, lock_id: int, token: int) -> None:
+        self._suspect.setdefault(lock_id, set()).add(token)
+
+    def _reap_proc(self):
+        while True:
+            yield self.env.timeout(self.reap_every_us)
+            for lock_id in range(self.n_locks):
+                if self._should_reclaim(lock_id):
+                    self._reclaim(lock_id)
+
+    def _should_reclaim(self, lock_id: int) -> bool:
+        if not getattr(self.detector, "has_quorum", True):
+            # minority-partition view: freezing the reaper here is what
+            # keeps a split brain from revoking the majority's grants
+            return False
+        if self._node_dead(self.home_node(lock_id).id):
+            return False  # words unreachable; restart first
+        if self._suspect.get(lock_id):
+            return True  # a release/hand-off failed: chain state suspect
+        holders = self.holders.get(lock_id, ())
+        active = self._active.get(lock_id, ())
+        if any(self._token_dead(tok) for tok, _mode in holders):
+            return True
+        if any(self._token_dead(tok) for tok in active):
+            return True
+        for tail in self._ft_tails(lock_id):
+            if tail and tail not in active and not any(
+                    tok == tail for tok, _mode in holders):
+                return True  # orphaned tail: residue of an aborted attempt
+        return self._ft_extra_reclaim(lock_id)
+
+    def _reclaim(self, lock_id: int) -> None:
+        """Wipe the lock's words at one instant and revoke every grant.
+
+        Home-local, zero simulated time: any in-flight remote atomic
+        lands strictly before or after the wipe and is rejected by its
+        epoch guard afterwards.
+        """
+        old_ep = self._epochs.get(lock_id, 0)
+        new_ep = (old_ep + 1) & _EP_MASK
+        self._epochs[lock_id] = new_ep
+        self._ft_wipe(lock_id, new_ep)
+        obs = self.env.obs
+        if obs is not None:
+            # emitted before the revokes so the sanitizer advances its
+            # authoritative epoch first, then validates each revocation
+            obs.trace.emit("lock.reclaim", node=self.home_node(lock_id).id,
+                           mgr=self.obs_name, lock=lock_id,
+                           old_ep=old_ep, new_ep=new_ep)
+            obs.metrics.counter("dlm.reclaims").inc()
+        for token, _mode in list(self.holders.get(lock_id, ())):
+            self._ledger_expunge(lock_id, token)
+            self._revoked[(lock_id, token)] = old_ep
+        self._suspect.pop(lock_id, None)
+        self.reclaims.append((self.env.now, lock_id, new_ep))
+
+
+class EpochFencedClient(LockClient):
+    """Bounded-retry acquire/release wrapper around the scheme hooks."""
+
+    def __init__(self, manager: EpochFencedManager, node: Node):
+        super().__init__(manager, node)
+        self._held_modes: Dict[int, LockMode] = {}
+        self._grant_ep: Dict[int, int] = {}
+        self._grant_extra: Dict[int, dict] = {}
+        self._seen_uids: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- scheme hooks ----------------------------------------------------
+    def _attempt_acquire(self, lock_id: int, mode: LockMode):
+        """Generator: one acquire attempt; returns ``(ep, extra)``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _attempt_release(self, lock_id: int, ep: int):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _abort_attempt(self, lock_id: int) -> None:
+        """Per-scheme cleanup after a failed acquire attempt."""
+
+    def _epoch_word(self, lock_id: int):
+        """(home, addr, rkey) of the epoch-bearing word to re-read."""
+        return self.manager.word(lock_id)
+
+    # -- acquire/release wrappers ----------------------------------------
+    def _acquire(self, lock_id: int, mode: LockMode):
+        if lock_id in self._held_modes:
+            raise LockError(f"client {self.token} already holds {lock_id}")
+        mgr = self.manager
+        if not mgr.ft:
+            ep, extra = yield from self._attempt_acquire(lock_id, mode)
+            self._finish_grant(lock_id, mode, ep, extra)
+            return None
+        attempts = 0
+        while True:
+            attempts += 1
+            mgr._note_active(lock_id, self.token)
+            try:
+                ep, extra = yield from self._attempt_acquire(lock_id, mode)
+                break
+            except (_Stale, FaultError, RdmaError) as exc:
+                self._abort_attempt(lock_id)
+                if attempts >= mgr.max_attempts:
+                    obs = self.env.obs
+                    if obs is not None:
+                        obs.trace.emit("lock.fail", node=self.node.id,
+                                       mgr=mgr.obs_name, lock=lock_id,
+                                       token=self.token,
+                                       attempts=attempts)
+                        obs.metrics.counter("dlm.acquire_failures").inc()
+                    raise LockError(
+                        f"acquire of lock {lock_id} by client {self.token} "
+                        f"failed after {attempts} attempts: {exc}") from exc
+            finally:
+                mgr._unnote_active(lock_id, self.token)
+            yield self.env.timeout(
+                mgr.attempt_backoff_us * min(attempts, 8))
+        # a fresh grant supersedes any stale revocation marker
+        mgr._revoked.pop((lock_id, self.token), None)
+        self._finish_grant(lock_id, mode, ep, extra)
+        return None
+
+    def _finish_grant(self, lock_id: int, mode: LockMode, ep: int,
+                      extra: dict) -> None:
+        self._held_modes[lock_id] = mode
+        self._grant_ep[lock_id] = ep
+        self._grant_extra[lock_id] = extra
+        self._granted(lock_id, mode, ep=ep, **extra)
+
+    def _release(self, lock_id: int):
+        mode = self._held_modes.pop(lock_id, None)
+        if mode is None:
+            raise LockError(f"client {self.token} does not hold {lock_id}")
+        mgr = self.manager
+        ep = self._grant_ep.pop(lock_id, 0)
+        if mgr.ft and mgr._consume_revoked(lock_id, self.token, ep):
+            # lease revoked by a reclaim: the grant already ended in the
+            # ledger and the words were wiped — nothing to undo
+            self._grant_extra.pop(lock_id, None)
+            return None
+        self._released(lock_id)
+        if not mgr.ft:
+            yield from self._attempt_release(lock_id, ep)
+            return None
+        mgr._note_active(lock_id, self.token)
+        try:
+            yield from self._attempt_release(lock_id, ep)
+        except (FaultError, RdmaError):
+            # the words (and possibly a waiter's hand-off) are in an
+            # unknown state — flag the lock so the reaper reclaims
+            mgr._flag_suspect(lock_id, self.token)
+        finally:
+            mgr._unnote_active(lock_id, self.token)
+        return None
+
+    # -- epoch-checked waits ----------------------------------------------
+    def _wait_msg(self, lock_id: int, kind: str, ep: int):
+        """Wait for a same-epoch message of ``kind``.
+
+        In FT mode the wait is lease-bounded; on expiry the epoch word
+        is re-read and a moved epoch raises :class:`_Stale`.
+        """
+        mgr = self.manager
+        while True:
+            if mgr.ft:
+                body = yield from self._wait_lease(lock_id, kind,
+                                                   mgr.lease_us)
+                if body is None:
+                    yield from self._check_epoch(lock_id, ep)
+                    continue
+            else:
+                body = yield from self._wait(lock_id, kind)
+            if body.get("ep") != ep:
+                continue  # stale generation
+            return body
+
+    def _check_epoch(self, lock_id: int, ep: int):
+        home, addr, rkey = self._epoch_word(lock_id)
+        raw = yield self.node.nic.rdma_read(home, addr, rkey, 8)
+        if unpack_ft(int.from_bytes(raw, "big"))[0] != ep:
+            raise _Stale(f"lock {lock_id} reclaimed while waiting")
+
+    def _drain_msgs(self, lock_id: int, kind: str, ep: int):
+        """Non-blocking: pop queued same-epoch messages of ``kind``."""
+        q = self._queue(lock_id, kind)
+        out = []
+        while True:
+            ok, body = q.try_get()
+            if not ok:
+                return out
+            if body.get("ep") == ep:
+                out.append(body)
+
+    # -- one-sided hand-off signalling ------------------------------------
+    def _signal(self, peer: "EpochFencedClient", lock_id: int,
+                kind: str, body: dict) -> None:
+        """Local-spin wakeup for a one-sided write just completed.
+
+        The payload travelled through a real ``rdma_write`` into the
+        peer's registered memory; the peer detects it by polling its
+        own cache-resident queue node, which costs no network traffic
+        and (conservatively, at the writer's completion instant rather
+        than a poll boundary) no extra simulated time.
+        """
+        peer._queue(lock_id, kind).try_put(dict(body, t=kind,
+                                                lock=lock_id))
+
+    # -- reliable peer messaging (lifted from N-CoSED) ---------------------
+    def _accept_msg(self, body: dict) -> bool:
+        uid = body.get("uid")
+        if uid is None:
+            return True
+        if uid in self._seen_uids:
+            return False  # duplicate delivery of a re-sent message
+        self._seen_uids[uid] = None
+        while len(self._seen_uids) > _UID_WINDOW:
+            self._seen_uids.popitem(last=False)
+        return True
+
+    def _peer_call(self, token: int, body: dict) -> None:
+        """Peer send: reliable (re-send + dedup) in FT mode."""
+        if self.manager.ft:
+            self._peer_send_ft(token, body)
+        else:
+            self._peer_send(token, body)
+
+    def _peer_send_ft(self, token: int, body: dict) -> None:
+        peer = self.manager.clients.get(token)
+        if peer is None:
+            raise LockError(f"unknown peer token {token}")
+        msg = dict(body)
+        msg["uid"] = self.env.next_id("dlm")
+        self.env.process(
+            self._send_reliable(peer, msg),
+            name=f"{self.manager.SCHEME}-send@{self.node.name}")
+
+    def _send_reliable(self, peer: "EpochFencedClient", body: dict):
+        mgr = self.manager
+        for _ in range(mgr.send_attempts):
+            try:
+                yield self.node.nic.send_wait(peer.node.id, payload=body,
+                                              size=32, tag=peer._tag)
+                return
+            except FaultError:
+                yield self.env.timeout(mgr.resend_us)
+        # Undeliverable protocol message: if its epoch is still current,
+        # some peer is (or may be) waiting on it — flag the lock so the
+        # reaper reclaims and waiters restart under a fresh epoch.
+        lock_id = body.get("lock")
+        if (lock_id is not None
+                and body.get("ep") == mgr.lock_epoch(lock_id)):
+            mgr._flag_suspect(lock_id, self.token)

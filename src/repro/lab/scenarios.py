@@ -24,7 +24,8 @@ from .spec import Sweep
 __all__ = ["SWEEPS", "packaged_sweep",
            "hybcc_threshold", "monitor_period", "lock_backoff",
            "lock_cascade", "obs_export", "dc_tps", "engine_bench",
-           "smoke", "txn_point", "topo_point", "fold_by_param",
+           "smoke", "txn_point", "topo_point", "locks_point",
+           "fold_by_param", "fold_locks",
            "fold_hybcc", "fold_period", "fold_backoff", "fold_dc",
            "fold_obs", "fold_txn", "fold_topo"]
 
@@ -181,6 +182,25 @@ def topo_point(racks: int = 2, oversub: float = 1.0,
     return topo_lab(racks=racks, oversub=oversub, seed=seed)
 
 
+def locks_point(scheme: str = "ncosed", n_clients: int = 64,
+                alpha: float = 1.2, chaos: str = "none",
+                seed: int = 0) -> Dict[str, Any]:
+    """One (scheme × contention × chaos) cell of the lock tournament."""
+    from ..dlm.tournament import lock_tournament
+
+    stats = lock_tournament(scheme, n_clients=n_clients, alpha=alpha,
+                            chaos=chaos, seed=seed)
+    return {
+        "grants": stats["grants"],
+        "failures": stats["failures"],
+        "ops_per_s": round(float(stats["ops_per_s"]), 1),
+        "p99_wait_us": round(float(stats["p99_wait_us"]), 3),
+        "jain": round(float(stats["jain"]), 4),
+        "max_chain": stats["max_chain"],
+        "violations": stats["violations"],
+    }
+
+
 def smoke(x: int = 1, seed: int = 0) -> Dict[str, Any]:
     """Tiny deterministic scenario for tests and CI smoke sweeps."""
     from ..sim import Environment, RngStreams
@@ -325,6 +345,22 @@ def fold_topo(records: List[Dict[str, Any]]) -> List[BenchTable]:
     return [table]
 
 
+def fold_locks(records: List[Dict[str, Any]]) -> List[BenchTable]:
+    table = BenchTable(
+        "lock-design arena: grant throughput vs contention",
+        ["scheme", "n_clients", "chaos", "seed", "grants", "failures",
+         "ops_per_s", "p99_wait_us", "jain", "violations"],
+        paper_ref="§4.2 Fig. 5 extended: N-CoSED/DQNL/SRSL vs the "
+                  "ALock cohort lock and RDMA-MCS under Zipf contention")
+    for r in _sorted_records(records, "scheme", "n_clients", "chaos"):
+        table.add(r["params"]["scheme"], r["params"]["n_clients"],
+                  r["params"].get("chaos", "none"), r["seed"],
+                  r["result"]["grants"], r["result"]["failures"],
+                  r["result"]["ops_per_s"], r["result"]["p99_wait_us"],
+                  r["result"]["jain"], r["result"]["violations"])
+    return [table]
+
+
 def fold_obs(records: List[Dict[str, Any]]) -> List[BenchTable]:
     table = BenchTable("obs scenario sweep",
                        ["scenario", "seed", "sim_now_us", "events",
@@ -394,6 +430,16 @@ def _topo16() -> Sweep:
                  seeds=(0,), fold=f"{_HERE}:fold_topo")
 
 
+def _locks() -> Sweep:
+    """Bounded lock-arena grid: all five designs × two contention
+    levels (the full crossover lives in ``repro locks bench``)."""
+    return Sweep(name="locks", scenario=f"{_HERE}:locks_point",
+                 grid={"scheme": ["srsl", "dqnl", "ncosed", "mcs",
+                                  "alock"],
+                       "n_clients": [64, 256]},
+                 seeds=(0,), fold=f"{_HERE}:fold_locks")
+
+
 def _smoke8() -> Sweep:
     """8 fast runs — CI wiring checks, not performance."""
     return Sweep(name="smoke8", scenario=f"{_HERE}:smoke",
@@ -417,6 +463,7 @@ SWEEPS: Dict[str, Callable[[], Sweep]] = {
     "engine": _engine,
     "txn": _txn,
     "topo16": _topo16,
+    "locks": _locks,
 }
 
 

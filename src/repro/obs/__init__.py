@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..errors import ConfigError, SanitizerError
 from .events import TAXONOMY, TraceEvent
+from .fairness import FairnessTracker, jain_index
 from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
 from .sanitizers import (
     ALL_SANITIZERS,
@@ -46,7 +47,9 @@ __all__ = [
     "TAXONOMY",
     "Tracer",
     "Counter",
+    "FairnessTracker",
     "Gauge",
+    "jain_index",
     "LatencyHistogram",
     "MetricsRegistry",
     "Sanitizer",

@@ -55,9 +55,12 @@ TAXONOMY: Dict[str, tuple] = {
     "lock.enqueue": (("mgr", "lock", "token", "mode", "prev", "ep"),
                      "requester landed in the wait queue; prev is the "
                      "queue predecessor read atomically from the lock "
-                     "word (0 = none; server decision order for SRSL)"),
+                     "word (0 = none; server decision order for SRSL; "
+                     "ALock adds cohort='L'|'R')"),
     "lock.grant": (("mgr", "lock", "token", "mode"),
-                   "ledger recorded a grant (ep added under FT)"),
+                   "ledger recorded a grant (ep added under FT; ALock "
+                   "adds cohort/chain/budget — chain is the 0-based "
+                   "position in the cohort pass-off run)"),
     "lock.release": (("mgr", "lock", "token"),
                      "ledger recorded a voluntary release"),
     "lock.revoke": (("mgr", "lock", "token"),

@@ -1,4 +1,4 @@
-"""Mutual-exclusion + FIFO/fairness oracle for the three DLM designs.
+"""Mutual-exclusion + FIFO/fairness oracle for the five DLM designs.
 
 The reference model is a per-lock automaton over the ledger event
 stream (``lock.request`` / ``lock.enqueue`` / ``lock.grant`` /
@@ -24,6 +24,25 @@ stream (``lock.request`` / ``lock.enqueue`` / ``lock.grant`` /
   revoked — a surviving zombie is flagged at end of trace.
 * **Word well-formedness** — observed lock words must name known
   tokens and never a *future* epoch.
+
+Arena-design invariants (PR 10):
+
+* **MCS queue order equals grant order** — a same-epoch grant must go
+  to a token whose enqueue names either an empty queue (``prev == 0``)
+  or the *immediately preceding* same-epoch grantee; skipping past the
+  queue head is flagged even when the generic FIFO check (which allows
+  any granted predecessor) would pass.
+* **ALock cohort discipline** — grants carry ``cohort``/``chain``/
+  ``budget``: the pass-off chain position must stay below the budget
+  and advance by exactly one from the previous same-epoch grant of the
+  same cohort; and a cohort may not win two consecutive tournaments
+  while a leader of the other cohort was already queued (``prev == 0``)
+  comfortably before the previous tenure began — the Peterson victim
+  word makes back-to-back wins over a waiting rival impossible.
+* **No grant to a fenced epoch** — the generic epoch check applies to
+  every design: arena grants always carry ``ep`` (0 outside FT mode),
+  so a grant issued under a reclaimed epoch is flagged for ALock/MCS
+  exactly as for N-CoSED.
 """
 
 from __future__ import annotations
@@ -38,6 +57,12 @@ _EP_MASK = 0xFFFF
 _F24 = (1 << 24) - 1
 _F32 = (1 << 32) - 1
 
+#: slack (µs) for the ALock no-skip check: a rival cohort leader must
+#: have been queued at least this long before the previous tenure began
+#: for a repeat win to count as a skip (covers the enqueue-to-flag-set
+#: window where the rival is queued but not yet in the tournament)
+_ALOCK_SKIP_MARGIN_US = 50.0
+
 
 def _ep_behind(ep: int, cur: int) -> bool:
     """True when ``ep`` is strictly behind ``cur`` (wrap-aware)."""
@@ -50,7 +75,7 @@ def _ep_ahead(ep: int, cur: int) -> bool:
 
 class _LockState:
     __slots__ = ("epoch", "requests", "holders", "zombies",
-                 "enqueues", "grants")
+                 "enqueues", "grants", "last_grant", "tenure")
 
     def __init__(self):
         self.epoch = 0
@@ -64,6 +89,10 @@ class _LockState:
         self.enqueues: List[dict] = []
         #: (token, ep, index) for every grant, in trace order
         self.grants: List[Tuple[int, int, int]] = []
+        #: ALock: meta of the previous grant {token, ep, cohort, chain}
+        self.last_grant: Optional[dict] = None
+        #: ALock: tournament tenure in progress {cohort, ep, start_t}
+        self.tenure: Optional[dict] = None
 
 
 class LockOracle(Oracle):
@@ -113,6 +142,7 @@ class LockOracle(Oracle):
         st.enqueues.append({
             "token": f["token"], "mode": f["mode"],
             "prev": f.get("prev", 0), "ep": f.get("ep", 0),
+            "cohort": f.get("cohort"), "t": ev.t,
             "idx": idx, "grant_idx": None, "void": False,
         })
 
@@ -150,11 +180,17 @@ class LockOracle(Oracle):
                       f"shared grant to token {token} while exclusively "
                       f"held", **scope)
 
-        self._check_fairness(idx, ev, st, token, mode, ep, scope)
+        rec = self._check_fairness(idx, ev, st, token, mode, ep, scope)
+        scheme = self._scheme(f["mgr"])
+        if scheme == "mcs" and rec is not None:
+            self._check_mcs(idx, ev, st, token, ep, scope)
+        elif scheme == "alock":
+            self._check_alock(idx, ev, st, token, ep, scope)
         st.holders[token] = (mode, ep, idx)
         st.grants.append((token, ep, idx))
 
-    def _check_fairness(self, idx, ev, st, token, mode, ep, scope) -> None:
+    def _check_fairness(self, idx, ev, st, token, mode, ep, scope
+                        ) -> Optional[dict]:
         scheme = self._scheme(ev.fields["mgr"])
         cands = [c for c in st.enqueues
                  if (c["token"] == token and c["grant_idx"] is None
@@ -164,12 +200,12 @@ class LockOracle(Oracle):
             self.flag(idx, ev,
                       f"grant to token {token} with no matching enqueue "
                       f"(epoch {ep})", **scope)
-            return
+            return None
         if scheme == "srsl":
             # server decision order: pair with the OLDEST open enqueue;
             # the positional check runs in finish()
             cands[0]["grant_idx"] = idx
-            return
+            return cands[0]
         # consume the newest attempt (a retry supersedes its elders)
         cands[-1]["grant_idx"] = idx
         mgr = ev.fields["mgr"]
@@ -179,7 +215,7 @@ class LockOracle(Oracle):
                 self.flag(idx, ev,
                           f"token {token} enqueued behind unknown token "
                           f"{cand['prev']} (corrupt lock word?)", **scope)
-                return
+                return cands[-1]
         # FIFO: the grant is a hand-off addressed to ONE of this token's
         # attempts in the current epoch — under faults a retrying client
         # may legally consume a grant earned by an earlier attempt whose
@@ -193,6 +229,85 @@ class LockOracle(Oracle):
             self.flag(idx, ev,
                       f"FIFO violation: token {token} granted before its "
                       f"queue predecessor {prev} (epoch {ep})", **scope)
+        return cands[-1]
+
+    def _check_mcs(self, idx, ev, st, token, ep, scope) -> None:
+        """MCS: queue order equals grant order.
+
+        The grantee must have entered the queue either on an empty tail
+        (``prev == 0``) or directly behind the *immediately preceding*
+        same-epoch grantee; the generic FIFO check (any granted
+        predecessor) would let a grant skip past the queue head.  Any
+        open same-epoch attempt (or the one just consumed) may justify
+        the grant, mirroring the retry allowance above.
+        """
+        prev_grant = next(
+            (g_tok for g_tok, g_ep, _i in reversed(st.grants)
+             if g_ep == ep), 0)
+        cands = [c for c in st.enqueues
+                 if (c["token"] == token and c["ep"] == ep
+                     and not c["void"]
+                     and c["grant_idx"] in (None, idx))]
+        if not any(c["prev"] in (0, prev_grant) for c in cands):
+            named = sorted({c["prev"] for c in cands})
+            self.flag(idx, ev,
+                      f"MCS queue-order violation: grant to token {token} "
+                      f"whose enqueue names predecessor(s) {named}, but "
+                      f"the previous epoch-{ep} grant went to "
+                      f"{prev_grant}", **scope)
+
+    def _check_alock(self, idx, ev, st, token, ep, scope) -> None:
+        """ALock: budget, chain continuity, and cohort no-skip."""
+        f = ev.fields
+        cohort = f.get("cohort")
+        chain = f.get("chain")
+        budget = f.get("budget")
+        if cohort is None or chain is None or budget is None:
+            self.flag(idx, ev,
+                      f"ALock grant to token {token} without "
+                      f"cohort/chain/budget fields", **scope)
+            return
+        if chain >= budget:
+            self.flag(idx, ev,
+                      f"cohort pass-off chain position {chain} reached "
+                      f"the cohort budget {budget}", **scope)
+        if chain > 0:
+            prev = st.last_grant
+            if prev is None or prev["ep"] != ep:
+                self.flag(idx, ev,
+                          f"chain continuation (chain={chain}) without a "
+                          f"same-epoch predecessor grant", **scope)
+            elif prev["cohort"] != cohort:
+                self.flag(idx, ev,
+                          f"in-budget pass-off crossed cohorts "
+                          f"({prev['cohort']} -> {cohort})", **scope)
+            elif chain != prev["chain"] + 1:
+                self.flag(idx, ev,
+                          f"pass-off chain jumped from {prev['chain']} "
+                          f"to {chain}", **scope)
+        else:
+            # tournament win: the same cohort winning back to back while
+            # a rival-cohort leader was already queued well before the
+            # previous tenure began means the victim word was ignored
+            ten = st.tenure
+            if (ten is not None and ten["cohort"] == cohort
+                    and ten["ep"] == ep):
+                skipped = [
+                    c for c in st.enqueues
+                    if (c["cohort"] not in (None, cohort)
+                        and c["ep"] == ep and c["prev"] == 0
+                        and not c["void"] and c["grant_idx"] is None
+                        and c["t"] + _ALOCK_SKIP_MARGIN_US
+                        < ten["start_t"])]
+                if skipped:
+                    rivals = sorted(c["token"] for c in skipped)
+                    self.flag(idx, ev,
+                              f"cohort {cohort} won consecutive "
+                              f"tournaments past waiting rival-cohort "
+                              f"leader(s) {rivals}", **scope)
+            st.tenure = {"cohort": cohort, "ep": ep, "start_t": ev.t}
+        st.last_grant = {"token": token, "ep": ep,
+                         "cohort": cohort, "chain": chain}
 
     def _on_release(self, idx: int, ev: TraceEvent) -> None:
         f = ev.fields

@@ -113,12 +113,24 @@ def _srsl(seed: int, n_nodes: int):
     return _lock_traffic(SRSLManager, seed, n_nodes, n_actors=4 * n_nodes)
 
 
-def _ncosed_chaos(seed: int, n_nodes: int):
-    """Fault-tolerant N-CoSED: crashes force lease reclaims, so the
-    oracle exercises epoch fencing, revocation, and zombie tracking."""
+def _mcs(seed: int, n_nodes: int):
+    from ..dlm import MCSManager
+    return _lock_traffic(MCSManager, seed, n_nodes, n_actors=4 * n_nodes)
+
+
+def _alock(seed: int, n_nodes: int):
+    from ..dlm import ALockManager
+    return _lock_traffic(ALockManager, seed, n_nodes,
+                         n_actors=4 * n_nodes, cohort_budget=3)
+
+
+def _lock_chaos(manager_cls, seed: int, n_nodes: int, shared_frac: float,
+                **mgr_kw):
+    """Fault-tolerant lock traffic: crashes force lease reclaims, so
+    the oracle exercises epoch fencing, revocation, and zombies."""
     from ..net import Cluster
     from ..faults import FaultPlan
-    from ..dlm import LockMode, NCoSEDManager
+    from ..dlm import LockMode
     from ..errors import LockError
 
     crash_a = 2 % n_nodes or 1
@@ -129,7 +141,7 @@ def _ncosed_chaos(seed: int, n_nodes: int):
     cluster = Cluster(n_nodes=n_nodes, seed=seed)
     obs = cluster.observe(sanitize=True, strict=False)
     cluster.install_faults(plan)
-    manager = NCoSEDManager(cluster, n_locks=4, lease_us=400.0)
+    manager = manager_cls(cluster, n_locks=4, lease_us=400.0, **mgr_kw)
     env = cluster.env
     rng = cluster.rng.get("check-chaos")
 
@@ -148,12 +160,28 @@ def _ncosed_chaos(seed: int, n_nodes: int):
 
     for i in range(3 * n_nodes):
         client = manager.client(cluster.nodes[i % n_nodes])
-        env.process(actor(env, client, i % 4, rng.random() < 0.4,
+        env.process(actor(env, client, i % 4, rng.random() < shared_frac,
                           rng.uniform(0.0, 8_000.0),
                           rng.uniform(500.0, 4_000.0)),
                     name=f"check-chaos-{i}")
     env.run(until=30_000.0)
     return obs
+
+
+def _ncosed_chaos(seed: int, n_nodes: int):
+    from ..dlm import NCoSEDManager
+    return _lock_chaos(NCoSEDManager, seed, n_nodes, shared_frac=0.4)
+
+
+def _mcs_chaos(seed: int, n_nodes: int):
+    from ..dlm import MCSManager
+    return _lock_chaos(MCSManager, seed, n_nodes, shared_frac=0.2)
+
+
+def _alock_chaos(seed: int, n_nodes: int):
+    from ..dlm import ALockManager
+    return _lock_chaos(ALockManager, seed, n_nodes, shared_frac=0.2,
+                       cohort_budget=3)
 
 
 def _ddss(seed: int, n_nodes: int):
@@ -263,7 +291,11 @@ CHECKS: Dict[str, tuple] = {
     "ncosed": (_ncosed, 6, "locks"),
     "dqnl": (_dqnl, 6, "locks"),
     "srsl": (_srsl, 6, "locks"),
+    "mcs": (_mcs, 6, "locks"),
+    "alock": (_alock, 6, "locks"),
     "ncosed-chaos": (_ncosed_chaos, 8, "locks"),
+    "mcs-chaos": (_mcs_chaos, 8, "locks"),
+    "alock-chaos": (_alock_chaos, 8, "locks"),
     "ddss": (_ddss, 4, "ddss"),
     "cache-bcc": (_cache_check("BCC"), 5, "cache"),
     "cache-ccwr": (_cache_check("CCWR"), 5, "cache"),

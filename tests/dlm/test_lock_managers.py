@@ -10,13 +10,15 @@ import pytest
 from repro.errors import LockError
 from repro.net import Cluster
 from repro.dlm import (
+    ALockManager,
     DQNLManager,
     LockMode,
+    MCSManager,
     NCoSEDManager,
     SRSLManager,
 )
 
-ALL = [SRSLManager, DQNLManager, NCoSEDManager]
+ALL = [SRSLManager, DQNLManager, NCoSEDManager, MCSManager, ALockManager]
 SHARED_CAPABLE = [SRSLManager, NCoSEDManager]
 
 

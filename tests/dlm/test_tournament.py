@@ -1,0 +1,135 @@
+"""Lock-design arena: tournament harness, bench report, CLI, sweep."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dlm.tournament import SCHEMES, lock_tournament
+from repro.errors import LockError
+
+
+class TestTournament:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_cell_is_oracle_clean(self, scheme):
+        stats = lock_tournament(scheme, n_clients=16, alpha=1.0,
+                                seed=0, rounds=3)
+        assert stats["violations"] == 0
+        assert stats["grants"] == 48
+        assert stats["failures"] == 0
+        assert stats["ops_per_s"] > 0
+        assert 0.0 < stats["jain"] <= 1.0
+
+    def test_deterministic(self):
+        a = lock_tournament("mcs", n_clients=16, seed=2, rounds=3)
+        b = lock_tournament("mcs", n_clients=16, seed=2, rounds=3)
+        assert a == b
+
+    def test_offered_schedule_is_scheme_independent(self):
+        # same seed, different scheme: identical workload => identical
+        # grant totals once every client finishes within the horizon
+        a = lock_tournament("srsl", n_clients=16, seed=5, rounds=3)
+        b = lock_tournament("dqnl", n_clients=16, seed=5, rounds=3)
+        assert a["grants"] == b["grants"]
+
+    @pytest.mark.parametrize("scheme", ["ncosed", "mcs", "alock"])
+    def test_chaos_cell_reclaims_and_stays_clean(self, scheme):
+        stats = lock_tournament(scheme, n_clients=16, alpha=1.0,
+                                chaos="crash", seed=0, rounds=4)
+        assert stats["violations"] == 0
+        assert stats["grants"] > 0
+
+    def test_unknown_scheme_or_chaos_rejected(self):
+        with pytest.raises(LockError):
+            lock_tournament("zk", n_clients=4)
+        with pytest.raises(LockError):
+            lock_tournament("srsl", n_clients=4, chaos="flood")
+
+
+class TestBenchReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.bench.locks import run_locks_suite
+
+        return run_locks_suite(seed=0, levels=(8, 16), alpha=1.0)
+
+    def test_crossover_table_shape(self, report):
+        res = report["results"]
+        assert res["crossover"]["levels"] == [8, 16]
+        for n in (8, 16):
+            assert res["crossover"]["winners"][str(n)] in SCHEMES
+            for scheme in SCHEMES:
+                cell = res["tournament"][f"{scheme}@{n}"]
+                assert cell["violations"] == 0
+                assert cell["ops_per_s"] > 0
+        assert set(res["chaos"]) == set(SCHEMES)
+        assert set(res["rates"]) == {f"{s}_ops_per_s" for s in SCHEMES}
+
+    def test_regression_gate(self, report):
+        from repro.bench.locks import check_locks_regression
+
+        assert check_locks_regression(report, report) == []
+        assert check_locks_regression(report, None) == []
+        inflated = json.loads(json.dumps(report))
+        inflated["results"]["rates"]["mcs_ops_per_s"] *= 2
+        failures = check_locks_regression(report, inflated)
+        assert failures and "mcs_ops_per_s" in failures[0]
+
+    def test_write_report_archives(self, report, tmp_path):
+        from repro.bench.locks import write_locks_report
+
+        out = tmp_path / "BENCH_locks.json"
+        paths = write_locks_report(report, str(out),
+                                   results_dir=str(tmp_path / "res"))
+        assert len(paths) == 2
+        doc = json.loads(out.read_text())
+        assert doc["suite"] == "locks"
+
+
+class TestLocksCLI:
+    def test_ls(self, capsys):
+        assert main(["locks", "ls"]) == 0
+        out = capsys.readouterr().out
+        for scheme in SCHEMES:
+            assert scheme in out
+
+    def test_run_writes_stats_json(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        assert main(["locks", "run", "mcs", "--clients", "12",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict=ok" in out
+        doc = json.loads(path.read_text())
+        assert doc["scheme"] == "mcs" and doc["violations"] == 0
+
+    def test_bench_deterministic_and_gated(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        base = ["locks", "bench", "--levels", "8", "16", "--alpha",
+                "1.0", "--no-archive"]
+        assert main(base + ["--out", str(a)]) == 0
+        assert main(base + ["--out", str(b),
+                            "--baseline", str(a)]) == 0
+        assert a.read_text() == b.read_text()
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_bench_missing_baseline_skips_gate(self, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        assert main(["locks", "bench", "--levels", "8", "--alpha",
+                     "1.0", "--no-archive", "--out", str(out),
+                     "--baseline", str(tmp_path / "nope.json")]) == 0
+        assert "regression gate skipped" in capsys.readouterr().out
+
+
+class TestLabSweep:
+    def test_locks_packaged(self):
+        from repro.lab.scenarios import SWEEPS, packaged_sweep
+
+        assert "locks" in SWEEPS
+        sweep = packaged_sweep("locks")
+        assert sweep.grid["scheme"] == list(SCHEMES)
+
+    def test_locks_point_runs(self):
+        from repro.lab.scenarios import locks_point
+
+        r = locks_point(scheme="alock", n_clients=12, alpha=1.0, seed=0)
+        assert r["violations"] == 0 and r["grants"] > 0
